@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module regenerates one of the paper's tables or figures via
+the harness in :mod:`repro.harness.experiments`.  The ``REPRO_BENCH_MODE``
+environment variable selects the sizing preset (``quick`` by default,
+``full`` for the closer-to-paper grids, ``smoke`` for CI).  Each benchmark
+prints its regenerated table (run pytest with ``-s`` to see it inline) and
+writes CSV/JSON copies under ``results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.settings import ExperimentSettings
+from repro.harness.tables import format_table, save_rows
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings.from_environment()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a regenerated table and persist it under ``results/``."""
+
+    def _report(rows, name: str, title: str) -> None:
+        text = format_table(rows, title=title)
+        print("\n" + text + "\n")
+        save_rows(rows, name)
+
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are far too slow for statistical repetition; a single
+    round still records the wall-clock in the benchmark report.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,30 @@
+"""Fig. 3 — EDiSt runtime with multiple MPI tasks per compute node.
+
+The paper shows that co-locating MPI tasks on one node speeds EDiSt up
+(9× at 16 tasks on the 1M graph) because the hybrid MCMC leaves long
+single-threaded stretches that extra ranks can fill.  The reproduction runs
+EDiSt with a growing task count and reports the modelled single-node runtime
+(intra-node latency/bandwidth constants); the expected shape is a monotone
+non-increasing runtime with diminishing returns, at unchanged accuracy.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig3
+
+
+def test_fig3_tasks_per_node(benchmark, settings, report):
+    rows = run_once(benchmark, run_fig3, settings)
+    report(rows, "fig3_tasks_per_node", "Fig. 3: EDiSt with multiple MPI tasks on one node")
+    assert len(rows) == len(settings.tasks_per_node)
+
+    # Speedup from more tasks per node, with NMI unaffected.  At the reduced
+    # benchmark scale the replicated synchronisation work (applying peer
+    # moves, rebuilding after merges) is a much larger fraction of the total
+    # than at paper scale, so the modelled gain is modest; the shape check is
+    # that the maximum task count is no slower than a single task and NMI is
+    # flat (the paper reports ~9x at 16 tasks on the full-size 1M graph).
+    assert rows[-1]["modeled_seconds"] <= rows[0]["modeled_seconds"] * 1.05
+    assert rows[-1]["speedup_vs_1_task"] > 1.0
+    nmis = [r["nmi"] for r in rows]
+    assert max(nmis) - min(nmis) < 0.2

@@ -1,0 +1,34 @@
+"""Fig. 6 — DC-SBP vs EDiSt on the real-world graph stand-ins.
+
+Accuracy is measured with the normalised description length (lower is
+better), exactly as in the paper, because these graphs have no ground truth.
+Expected shape: EDiSt's DL_norm stays flat (and below 1.0) as ranks grow,
+while DC-SBP's quality degrades once its subgraphs fragment; on the densest
+graph (the Twitter stand-in) DC-SBP survives to more ranks, so the gap there
+is smallest.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig6
+
+
+def test_fig6_realworld_standins(benchmark, settings, report):
+    rows = run_once(benchmark, run_fig6, settings)
+    report(rows, "fig6_realworld", "Fig. 6: DC-SBP vs EDiSt on real-world stand-ins (DL_norm, lower is better)")
+    max_ranks = max(settings.scaling_rank_counts)
+
+    for graph_id in settings.realworld_graph_ids:
+        edist_rows = [r for r in rows if r["graph"] == graph_id and r["algorithm"] == "edist"]
+        dcsbp_rows = [r for r in rows if r["graph"] == graph_id and r["algorithm"] == "dcsbp"]
+        assert edist_rows and dcsbp_rows
+
+        edist_at_scale = next(r for r in edist_rows if r["num_ranks"] == max_ranks)
+        dcsbp_at_scale = next(r for r in dcsbp_rows if r["num_ranks"] == max_ranks)
+        edist_baseline = next(r for r in edist_rows if r["num_ranks"] == 1)
+
+        # EDiSt finds real structure (DL_norm < 1) and keeps it at scale.
+        assert edist_at_scale["dl_norm"] < 1.0
+        assert edist_at_scale["dl_norm"] <= edist_baseline["dl_norm"] + 0.05
+        # At the largest rank count EDiSt's model is at least as good as DC-SBP's.
+        assert edist_at_scale["dl_norm"] <= dcsbp_at_scale["dl_norm"] + 0.02

@@ -1,0 +1,15 @@
+"""Table IV — synthetic strong-scaling graphs (1M / 2M / 4M family)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_table4
+
+
+def test_table4_scaling_graphs(benchmark, settings, report):
+    rows = run_once(benchmark, run_table4, settings)
+    report(rows, "table4_scaling_graphs", "Table IV: synthetic scaling graphs (paper vs regenerated)")
+    assert {row["graph"] for row in rows} == {"1M", "2M", "4M"}
+    by_id = {row["graph"]: row for row in rows}
+    # The 1 : 2 : 4 size progression must be preserved at any scale factor.
+    assert by_id["2M"]["generated_vertices"] > 1.5 * by_id["1M"]["generated_vertices"]
+    assert by_id["4M"]["generated_vertices"] > 1.5 * by_id["2M"]["generated_vertices"]

@@ -1,0 +1,47 @@
+"""Table VIII — EDiSt NMI across rank counts on the parameter-sweep graphs.
+
+The paper's claim: EDiSt keeps the single-node (baseline) NMI at every rank
+count, on both the dense and the sparse graphs — the two situations where
+DC-SBP collapses (Table VII).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_table7, run_table8
+
+
+def test_table8_edist_accuracy_grid(benchmark, settings, report):
+    rows = run_once(benchmark, run_table8, settings)
+    report(rows, "table8_edist_parameter_sweep",
+           "Table VIII: EDiSt NMI across rank counts (paper baseline NMI shown for reference)")
+    assert len(rows) == len(settings.sweep_graph_ids)
+
+    max_ranks = max(settings.rank_counts)
+    for row in rows:
+        baseline = row["nmi@1"]
+        at_scale = row[f"nmi@{max_ranks}"]
+        # EDiSt retains the single-rank accuracy at the largest rank count
+        # (allowing MCMC noise); this is the paper's central claim.
+        assert at_scale >= baseline - 0.15, f"{row['graph']}: {at_scale} vs baseline {baseline}"
+
+
+def test_edist_beats_dcsbp_at_scale(benchmark, settings, report):
+    """Cross-table check: at the largest rank count EDiSt ≥ DC-SBP in NMI."""
+
+    def _both():
+        return run_table7(settings), run_table8(settings)
+
+    table7, table8 = run_once(benchmark, _both)
+    max_ranks = max(settings.rank_counts)
+    dcsbp = {r["graph"]: r[f"nmi@{max_ranks}"] for r in table7}
+    edist = {r["graph"]: r[f"nmi@{max_ranks}"] for r in table8}
+    comparison = [
+        {"graph": g, "dcsbp_nmi": dcsbp[g], "edist_nmi": edist[g], "num_ranks": max_ranks}
+        for g in dcsbp
+    ]
+    report(comparison, "table7_vs_table8_at_max_ranks",
+           f"EDiSt vs DC-SBP NMI at {max_ranks} ranks (Tables VII vs VIII)")
+    for row in comparison:
+        assert row["edist_nmi"] >= row["dcsbp_nmi"] - 0.05
+    # And EDiSt must be strictly better on at least one graph where DC-SBP collapsed.
+    assert any(row["edist_nmi"] > row["dcsbp_nmi"] + 0.2 for row in comparison)

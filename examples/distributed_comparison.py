@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""DC-SBP vs EDiSt: the paper's core comparison, on one graph.
+
+Reproduces the essence of Tables VII/VIII on a single parameter-sweep graph:
+as the number of (simulated) MPI ranks grows, the divide-and-conquer baseline
+loses accuracy — its round-robin data distribution strands more and more
+island vertices — while EDiSt, which replicates the graph and synchronises
+blockmodels with all-gathers, keeps the single-node accuracy.
+
+Run with::
+
+    python examples/distributed_comparison.py [graph_id] [scale]
+
+e.g. ``python examples/distributed_comparison.py FTT33 0.05`` for the sparse
+failure mode or ``TTT33 0.05`` (default) for the dense one.
+"""
+
+import sys
+
+from repro import SBPConfig, divide_and_conquer_sbp, edist, parameter_sweep_graph, stochastic_block_partition
+from repro.harness import format_table
+
+
+def main() -> None:
+    graph_id = sys.argv[1] if len(sys.argv) > 1 else "TTT33"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.05
+    graph = parameter_sweep_graph(graph_id, scale=scale, seed=5)
+    config = SBPConfig.fast(seed=11)
+
+    print(f"Graph {graph_id}: V={graph.num_vertices} E={graph.num_edges} "
+          f"average degree {graph.average_degree:.1f}")
+
+    baseline = stochastic_block_partition(graph, config)
+    print(f"Shared-memory baseline (1 rank): NMI={baseline.nmi():.2f}, "
+          f"{baseline.num_communities} communities\n")
+
+    rows = []
+    for num_ranks in (2, 4, 8, 16):
+        dc = divide_and_conquer_sbp(graph, num_ranks, config)
+        ed = edist(graph, num_ranks, config)
+        rows.append(
+            {
+                "ranks": num_ranks,
+                "dcsbp_nmi": round(dc.nmi(), 2),
+                "dcsbp_islands": round(dc.metadata["island_fraction"], 2),
+                "dcsbp_communities": dc.num_communities,
+                "edist_nmi": round(ed.nmi(), 2),
+                "edist_communities": ed.num_communities,
+            }
+        )
+        print(f"  ranks={num_ranks:2d}: DC-SBP NMI={rows[-1]['dcsbp_nmi']:.2f} "
+              f"(islands {rows[-1]['dcsbp_islands']:.0%}), EDiSt NMI={rows[-1]['edist_nmi']:.2f}")
+
+    print()
+    print(format_table(rows, title=f"DC-SBP vs EDiSt on {graph_id} (baseline NMI {baseline.nmi():.2f})"))
+    print("\nExpected shape (paper Tables VII/VIII): DC-SBP NMI decays as ranks "
+          "grow — earlier on sparse graphs — while EDiSt stays at the baseline.")
+
+
+if __name__ == "__main__":
+    main()

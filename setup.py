@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists only so
+that ``pip install -e .`` can fall back to the legacy ``setup.py develop``
+code path on environments without the ``wheel`` package (such as the offline
+environment this reproduction targets).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Blockmodel substrate: the degree-corrected SBM state and its entropy.
+
+This package implements the data structures the paper's C++ implementation
+optimises (Section III-A):
+
+* a **sparse block matrix** stored as a vector of hash maps *plus its
+  transpose* for fast row- and column-wise access (optimisations (a)/(b)),
+* **sparse deltas** so that the change in description length of a proposed
+  vertex move or block merge touches only the affected rows/columns
+  (optimisation (c)),
+* the **description length** objective of Eqs. (1)-(2), both as an exact
+  recomputation and as delta forms (the two are cross-checked in the tests).
+
+The pointer-based merge tracking (optimisation (d)) lives in
+:mod:`repro.core.merges` because it belongs to the block-merge phase.
+"""
+
+from repro.blockmodel.sparse_matrix import SparseBlockMatrix
+from repro.blockmodel.blockmodel import Blockmodel, VertexBlockCounts
+from repro.blockmodel.entropy import (
+    blockmodel_entropy_term,
+    description_length,
+    log_likelihood,
+    model_complexity_term,
+    normalized_description_length,
+    null_description_length,
+)
+from repro.blockmodel.deltas import (
+    delta_dl_for_merge,
+    delta_dl_for_move,
+    MoveDelta,
+)
+
+__all__ = [
+    "SparseBlockMatrix",
+    "Blockmodel",
+    "VertexBlockCounts",
+    "log_likelihood",
+    "description_length",
+    "normalized_description_length",
+    "null_description_length",
+    "model_complexity_term",
+    "blockmodel_entropy_term",
+    "delta_dl_for_move",
+    "delta_dl_for_merge",
+    "MoveDelta",
+]

@@ -1,0 +1,137 @@
+"""Configuration for every SBP variant in the library.
+
+One dataclass drives the sequential baseline, the Hybrid shared-memory
+variant, DC-SBP, and EDiSt, so that experiments hold the algorithmic
+parameters fixed while varying only the distribution strategy — which is how
+the paper's comparisons are set up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["SBPConfig", "MCMCVariant"]
+
+
+class MCMCVariant:
+    """Names of the supported MCMC engines (see :mod:`repro.core.mcmc`)."""
+
+    METROPOLIS_HASTINGS = "metropolis_hastings"
+    HYBRID = "hybrid"
+    BATCH_GIBBS = "batch_gibbs"
+
+    ALL = (METROPOLIS_HASTINGS, HYBRID, BATCH_GIBBS)
+
+
+@dataclass(frozen=True)
+class SBPConfig:
+    """Tunable parameters of stochastic block partitioning.
+
+    Defaults follow the Graph Challenge reference implementation, which is
+    also what the paper's baselines use.
+
+    Attributes
+    ----------
+    beta:
+        Inverse temperature of the Metropolis-Hastings acceptance
+        ``min(1, exp(-beta * ΔDL) * hastings)``.
+    block_reduction_rate:
+        Fraction of blocks removed per block-merge phase (0.5 halves the
+        block count, as in Alg. 1's "until number of communities is halved").
+    merge_proposals_per_block:
+        ``x`` in Alg. 1/4: candidate merges evaluated per block.
+    max_mcmc_iterations:
+        ``x`` in Alg. 2/5: maximum MCMC sweeps per phase.
+    mcmc_convergence_threshold:
+        ``t`` in Alg. 2/5: the phase stops when the absolute change in DL
+        over a sweep drops below ``t × DL``.
+    min_blocks:
+        The agglomeration never merges below this many blocks.
+    mcmc_variant:
+        ``"metropolis_hastings"`` (strictly sequential, Alg. 2), ``"hybrid"``
+        (high-degree vertices sequential + low-degree asynchronous batches,
+        the shared-memory parallel formulation of [11]), or
+        ``"batch_gibbs"`` (every vertex evaluated against a stale state, the
+        original Graph Challenge python parallelism — used by the reference
+        DC-SBP implementation of Table VI).
+    hybrid_high_degree_fraction:
+        Fraction of vertices (by descending degree) processed sequentially
+        by the hybrid MCMC.
+    hybrid_batch_size:
+        Number of low-degree vertices whose proposals are evaluated against
+        the same (stale) blockmodel before their accepted moves are applied.
+    dcsbp_combine_threshold:
+        DC-SBP merges partial results pairwise until at most this many
+        remain (the paper and [13] use 4).
+    dcsbp_merge_candidates:
+        Candidate target blocks evaluated when merging one partial result's
+        community into another's (``None`` evaluates every candidate).
+    seed:
+        Root random seed.  Every rank and phase derives an independent
+        stream from it.
+    track_history:
+        Record per-iteration DL / block-count history in the result object.
+    validate:
+        Run expensive consistency checks after each phase (tests only).
+    """
+
+    beta: float = 3.0
+    block_reduction_rate: float = 0.5
+    merge_proposals_per_block: int = 10
+    max_mcmc_iterations: int = 30
+    mcmc_convergence_threshold: float = 1e-4
+    min_blocks: int = 1
+    mcmc_variant: str = MCMCVariant.HYBRID
+    hybrid_high_degree_fraction: float = 0.25
+    hybrid_batch_size: int = 64
+    dcsbp_combine_threshold: int = 4
+    dcsbp_merge_candidates: Optional[int] = None
+    seed: Optional[int] = None
+    track_history: bool = True
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.block_reduction_rate < 1.0:
+            raise ValueError("block_reduction_rate must lie in (0, 1)")
+        if self.merge_proposals_per_block < 1:
+            raise ValueError("merge_proposals_per_block must be at least 1")
+        if self.max_mcmc_iterations < 1:
+            raise ValueError("max_mcmc_iterations must be at least 1")
+        if self.mcmc_convergence_threshold < 0:
+            raise ValueError("mcmc_convergence_threshold must be non-negative")
+        if self.min_blocks < 1:
+            raise ValueError("min_blocks must be at least 1")
+        if self.mcmc_variant not in MCMCVariant.ALL:
+            raise ValueError(f"unknown mcmc_variant {self.mcmc_variant!r}")
+        if not 0.0 <= self.hybrid_high_degree_fraction <= 1.0:
+            raise ValueError("hybrid_high_degree_fraction must lie in [0, 1]")
+        if self.hybrid_batch_size < 1:
+            raise ValueError("hybrid_batch_size must be at least 1")
+        if self.dcsbp_combine_threshold < 1:
+            raise ValueError("dcsbp_combine_threshold must be at least 1")
+        if self.beta <= 0:
+            raise ValueError("beta must be positive")
+
+    def with_seed(self, seed: Optional[int]) -> "SBPConfig":
+        """Return a copy with a different root seed."""
+        return replace(self, seed=seed)
+
+    def with_overrides(self, **kwargs) -> "SBPConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def fast(cls, seed: Optional[int] = None) -> "SBPConfig":
+        """A configuration tuned for quick test/benchmark runs.
+
+        Fewer MCMC sweeps and merge proposals; accuracy on the small
+        laptop-scale graphs used in CI is essentially unaffected while the
+        runtime drops severalfold.
+        """
+        return cls(
+            merge_proposals_per_block=4,
+            max_mcmc_iterations=12,
+            mcmc_convergence_threshold=5e-4,
+            seed=seed,
+        )

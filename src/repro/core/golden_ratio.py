@@ -1,0 +1,160 @@
+"""Golden-ratio bracket search over the number of blocks.
+
+SBP does not know the optimal number of communities in advance.  After each
+(block-merge + MCMC) cycle the resulting blockmodel and its description
+length are fed to this search, which keeps up to three blockmodels ordered
+by decreasing block count (Section II-B of the paper):
+
+* while the description length keeps decreasing as blocks are merged, the
+  search keeps halving the block count (exploration phase);
+* as soon as a smaller blockmodel has a *larger* DL, the minimum is
+  bracketed, and the search performs golden-section steps inside the bracket
+  until the bracket width shrinks to at most two block counts, at which
+  point the middle (best) blockmodel is the answer.
+
+Every rank of EDiSt runs an identical copy of this search on identical
+inputs, which keeps the distributed algorithm's control flow in lockstep
+without extra communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.blockmodel.blockmodel import Blockmodel
+
+__all__ = ["TripletEntry", "GoldenRatioSearch", "SearchDecision"]
+
+#: 1 / golden ratio, the classic section factor.
+GOLDEN_SECTION = 0.618
+
+
+@dataclass
+class TripletEntry:
+    """One stored blockmodel of the search bracket."""
+
+    blockmodel: Blockmodel
+    description_length: float
+
+    @property
+    def num_blocks(self) -> int:
+        return self.blockmodel.num_blocks
+
+
+@dataclass
+class SearchDecision:
+    """What the driver should do next."""
+
+    done: bool
+    #: The blockmodel to continue from (always the stored entry with the
+    #: smallest block count that still exceeds the target).
+    start: Optional[Blockmodel] = None
+    #: How many blocks the next block-merge phase should remove.
+    num_blocks_to_merge: int = 0
+    #: The block count the next cycle aims for.
+    target_blocks: int = 0
+
+
+class GoldenRatioSearch:
+    """Bracketed search over block counts, mirroring the reference SBP."""
+
+    def __init__(self, reduction_rate: float = 0.5, min_blocks: int = 1) -> None:
+        if not 0.0 < reduction_rate < 1.0:
+            raise ValueError("reduction_rate must lie in (0, 1)")
+        self.reduction_rate = reduction_rate
+        self.min_blocks = max(int(min_blocks), 1)
+        # entries[0]: most blocks, entries[1]: middle/best, entries[2]: fewest blocks
+        self.entries: List[Optional[TripletEntry]] = [None, None, None]
+
+    # ------------------------------------------------------------------
+    @property
+    def bracket_established(self) -> bool:
+        """True once a smaller blockmodel with a larger DL has been seen."""
+        return self.entries[2] is not None
+
+    def best(self) -> TripletEntry:
+        """The best blockmodel seen so far."""
+        candidates = [e for e in self.entries if e is not None]
+        if not candidates:
+            raise RuntimeError("the search has not seen any blockmodel yet")
+        return min(candidates, key=lambda e: e.description_length)
+
+    # ------------------------------------------------------------------
+    def _place(self, candidate: TripletEntry) -> None:
+        """Insert a candidate into the triplet, keeping it ordered by blocks."""
+        middle = self.entries[1]
+        if middle is None or candidate.description_length <= middle.description_length:
+            if middle is not None:
+                if middle.num_blocks > candidate.num_blocks:
+                    self.entries[0] = middle
+                else:
+                    self.entries[2] = middle
+            self.entries[1] = candidate
+        else:
+            if middle.num_blocks > candidate.num_blocks:
+                self.entries[2] = candidate
+            else:
+                self.entries[0] = candidate
+
+    def _next_target(self) -> Optional[int]:
+        """The next block count to evaluate, or ``None`` when converged."""
+        middle = self.entries[1]
+        assert middle is not None
+        if not self.bracket_established:
+            target = int(round(middle.num_blocks * (1.0 - self.reduction_rate)))
+            target = max(target, self.min_blocks)
+            if target >= middle.num_blocks:
+                return None
+            return target
+        upper = self.entries[0]
+        lower = self.entries[2]
+        assert lower is not None
+        upper_blocks = upper.num_blocks if upper is not None else middle.num_blocks
+        if upper_blocks - lower.num_blocks <= 2:
+            return None
+        gap_high = upper_blocks - middle.num_blocks
+        gap_low = middle.num_blocks - lower.num_blocks
+        if gap_high >= gap_low and gap_high > 1:
+            target = middle.num_blocks + int(round(GOLDEN_SECTION * gap_high))
+            target = min(max(target, middle.num_blocks + 1), upper_blocks - 1)
+        elif gap_low > 1:
+            target = lower.num_blocks + int(round(GOLDEN_SECTION * gap_low))
+            target = min(max(target, lower.num_blocks + 1), middle.num_blocks - 1)
+        else:
+            return None
+        return target
+
+    def _start_for(self, target: int) -> Optional[TripletEntry]:
+        """The stored entry with the fewest blocks still above ``target``."""
+        candidates = [e for e in self.entries if e is not None and e.num_blocks > target]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: e.num_blocks)
+
+    # ------------------------------------------------------------------
+    def update(self, blockmodel: Blockmodel, description_length: float) -> SearchDecision:
+        """Record a finished cycle's result and decide the next step.
+
+        The blockmodel is stored by reference; callers must not mutate it
+        afterwards (the SBP driver always continues from a copy).
+        """
+        self._place(TripletEntry(blockmodel, float(description_length)))
+        target = self._next_target()
+        if target is None:
+            return SearchDecision(done=True, start=self.best().blockmodel)
+        start = self._start_for(target)
+        if start is None or start.num_blocks - target <= 0:
+            return SearchDecision(done=True, start=self.best().blockmodel)
+        return SearchDecision(
+            done=False,
+            start=start.blockmodel,
+            num_blocks_to_merge=start.num_blocks - target,
+            target_blocks=target,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        described = [
+            f"(B={e.num_blocks}, DL={e.description_length:.1f})" if e else "None" for e in self.entries
+        ]
+        return f"GoldenRatioSearch[{', '.join(described)}]"

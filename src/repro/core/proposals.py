@@ -1,0 +1,171 @@
+"""MCMC move proposals and their Metropolis-Hastings evaluation.
+
+The proposal distribution follows the Graph Challenge / Peixoto formulation
+used by the paper's baselines:
+
+1. pick a uniformly random (weighted) neighbour ``u`` of vertex ``v`` and let
+   ``t`` be ``u``'s block;
+2. with probability ``B / (d_t + B)`` propose a uniformly random block
+   (this keeps the chain ergodic and lets new blocks be reached);
+3. otherwise propose a block drawn from the edges incident to block ``t``
+   (row ``t`` plus column ``t`` of the block matrix, weighted by
+   multiplicity).
+
+Because the proposal is not symmetric, acceptance uses the Hastings
+correction computed from the same distribution evaluated in the forward and
+reverse directions; the acceptance probability is
+
+``min(1, exp(-beta * ΔDL) * p(s→r) / p(r→s))``.
+
+Self-loops of ``v`` are excluded from the correction (they stay attached to
+``v`` wherever it goes); this matches the reference implementations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.blockmodel.blockmodel import Blockmodel, VertexBlockCounts
+from repro.blockmodel.deltas import MoveDelta, delta_dl_for_move
+
+__all__ = ["ProposalEvaluation", "propose_block_for_vertex", "hastings_correction", "evaluate_vertex_move"]
+
+
+@dataclass
+class ProposalEvaluation:
+    """A proposed vertex move together with everything needed to accept it."""
+
+    move: MoveDelta
+    hastings: float
+
+    @property
+    def delta_dl(self) -> float:
+        return self.move.delta_dl
+
+
+def _combined_neighbor_block_counts(counts: VertexBlockCounts) -> Dict[int, int]:
+    combined: Dict[int, int] = dict(counts.out_counts)
+    for b, w in counts.in_counts.items():
+        combined[b] = combined.get(b, 0) + w
+    return combined
+
+
+def propose_block_for_vertex(
+    blockmodel: Blockmodel,
+    vertex: int,
+    rng: np.random.Generator,
+) -> int:
+    """Propose a destination block for ``vertex`` (may equal its own block)."""
+    num_blocks = blockmodel.num_blocks
+    if num_blocks <= 1:
+        return 0
+    graph = blockmodel.graph
+    neighbors = graph.neighbors(vertex)
+    if neighbors.shape[0] == 0:
+        # Isolated vertex: uniform proposal keeps the chain ergodic.
+        return int(rng.integers(num_blocks))
+    weights = graph.neighbor_weights(vertex)
+    total = int(weights.sum())
+    pick = int(rng.integers(total))
+    acc = 0
+    u = int(neighbors[-1])
+    for nbr, w in zip(neighbors.tolist(), weights.tolist()):
+        acc += w
+        if pick < acc:
+            u = int(nbr)
+            break
+    t = int(blockmodel.assignment[u])
+    d_t = int(blockmodel.block_total_degrees[t])
+    if rng.random() < num_blocks / (d_t + num_blocks):
+        return int(rng.integers(num_blocks))
+    s = blockmodel.sample_neighbor_block(t, rng)
+    if s < 0:
+        return int(rng.integers(num_blocks))
+    return int(s)
+
+
+def hastings_correction(
+    blockmodel: Blockmodel,
+    counts: VertexBlockCounts,
+    from_block: int,
+    to_block: int,
+) -> float:
+    """``p(s→r) / p(r→s)`` for the proposal distribution described above."""
+    r, s = int(from_block), int(to_block)
+    if r == s:
+        return 1.0
+    combined = _combined_neighbor_block_counts(counts)
+    if not combined:
+        return 1.0
+    num_blocks = blockmodel.num_blocks
+    matrix = blockmodel.matrix
+    d_total = blockmodel.block_total_degrees
+
+    # Sparse matrix delta induced by the move (mirrors Blockmodel.move_vertex),
+    # needed to evaluate the reverse proposal on the post-move state.
+    entry_delta: Dict[Tuple[int, int], int] = {}
+
+    def bump(i: int, j: int, d: int) -> None:
+        if d:
+            key = (i, j)
+            entry_delta[key] = entry_delta.get(key, 0) + d
+
+    for b, w in counts.out_counts.items():
+        bump(r, b, -w)
+        bump(s, b, w)
+    for b, w in counts.in_counts.items():
+        bump(b, r, -w)
+        bump(b, s, w)
+    if counts.self_loop:
+        bump(r, r, -counts.self_loop)
+        bump(s, s, counts.self_loop)
+
+    def new_value(i: int, j: int) -> int:
+        return matrix.get(i, j) + entry_delta.get((i, j), 0)
+
+    degree_shift = counts.out_total + counts.in_total
+
+    def new_degree(t: int) -> int:
+        d = int(d_total[t])
+        if t == r:
+            d -= degree_shift
+        elif t == s:
+            d += degree_shift
+        return d
+
+    forward = 0.0
+    backward = 0.0
+    for t, k_t in combined.items():
+        forward += k_t * (matrix.get(t, s) + matrix.get(s, t) + 1.0) / (d_total[t] + num_blocks)
+        backward += k_t * (new_value(t, r) + new_value(r, t) + 1.0) / (new_degree(t) + num_blocks)
+    if forward <= 0.0:
+        return 1.0
+    return backward / forward
+
+
+def evaluate_vertex_move(
+    blockmodel: Blockmodel,
+    vertex: int,
+    to_block: int,
+    counts: Optional[VertexBlockCounts] = None,
+) -> ProposalEvaluation:
+    """Evaluate ΔDL and the Hastings correction for one proposed move."""
+    if counts is None:
+        counts = blockmodel.vertex_block_counts(vertex)
+    move = delta_dl_for_move(blockmodel, vertex, to_block, counts)
+    if move.from_block == move.to_block:
+        return ProposalEvaluation(move, 1.0)
+    correction = hastings_correction(blockmodel, counts, move.from_block, move.to_block)
+    return ProposalEvaluation(move, correction)
+
+
+def acceptance_probability(evaluation: ProposalEvaluation, beta: float) -> float:
+    """``min(1, exp(-beta * ΔDL) * hastings)`` with overflow protection."""
+    exponent = -beta * evaluation.delta_dl
+    if exponent > 50:  # exp() would overflow; the move is accepted anyway.
+        return 1.0
+    return min(1.0, math.exp(exponent) * evaluation.hastings)

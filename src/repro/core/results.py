@@ -1,0 +1,113 @@
+"""Result objects returned by the SBP drivers.
+
+Every algorithm variant (sequential SBP, DC-SBP, EDiSt) returns an
+:class:`SBPResult`, so the harness, the benchmarks, and downstream users can
+treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.blockmodel.blockmodel import Blockmodel
+from repro.blockmodel.entropy import normalized_description_length
+from repro.evaluation.nmi import normalized_mutual_information
+from repro.graphs.graph import Graph
+from repro.mpi.stats import CommStats
+
+__all__ = ["IterationRecord", "SBPResult"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One outer (block-merge + MCMC) cycle of the agglomerative search."""
+
+    iteration: int
+    num_blocks: int
+    description_length: float
+    mcmc_sweeps: int
+    accepted_moves: int
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SBPResult:
+    """The outcome of one community-detection run.
+
+    Attributes
+    ----------
+    graph:
+        The graph that was partitioned.
+    blockmodel:
+        The final blockmodel (assignment, block matrix, degrees).
+    description_length:
+        DL (Eq. 2) of the final blockmodel.
+    algorithm:
+        Label of the variant that produced the result
+        (``"sbp"``, ``"dcsbp"``, ``"edist"``, ``"reference-dcsbp"`` …).
+    num_ranks:
+        Number of (simulated) MPI ranks used.
+    runtime_seconds:
+        Measured wall-clock of the run.
+    phase_seconds:
+        Measured time per phase (``block_merge``, ``mcmc``, ``finetune``,
+        ``combine`` …), used by the harness's runtime model.
+    history:
+        Per-cycle records (present when ``config.track_history``).
+    comm_stats:
+        Aggregated communication counters across ranks.
+    """
+
+    graph: Graph
+    blockmodel: Blockmodel
+    description_length: float
+    algorithm: str = "sbp"
+    num_ranks: int = 1
+    runtime_seconds: float = 0.0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    history: List[IterationRecord] = field(default_factory=list)
+    comm_stats: Optional[CommStats] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """Final vertex-to-community assignment."""
+        return self.blockmodel.assignment
+
+    @property
+    def num_communities(self) -> int:
+        """Number of non-empty communities in the final partition."""
+        return self.blockmodel.num_nonempty_blocks()
+
+    def nmi(self, truth: Optional[np.ndarray] = None) -> float:
+        """NMI against ``truth`` (defaults to the graph's planted labels)."""
+        if truth is None:
+            truth = self.graph.true_assignment
+        if truth is None:
+            raise ValueError("graph has no ground truth; pass `truth` explicitly or use dl_norm()")
+        return normalized_mutual_information(truth, self.assignment)
+
+    def dl_norm(self) -> float:
+        """Normalised description length (lower is better)."""
+        return normalized_description_length(self.description_length, self.graph)
+
+    def summary(self) -> Dict[str, object]:
+        """A flat, JSON-friendly summary used by the benchmark harness."""
+        out: Dict[str, object] = {
+            "algorithm": self.algorithm,
+            "graph": self.graph.name,
+            "num_vertices": self.graph.num_vertices,
+            "num_edges": self.graph.num_edges,
+            "num_ranks": self.num_ranks,
+            "num_communities": self.num_communities,
+            "description_length": self.description_length,
+            "dl_norm": self.dl_norm(),
+            "runtime_seconds": self.runtime_seconds,
+        }
+        if self.graph.true_assignment is not None:
+            out["nmi"] = self.nmi()
+        out.update({f"seconds_{k}": v for k, v in self.phase_seconds.items()})
+        return out

@@ -1,0 +1,158 @@
+"""The top-level (sequential / shared-memory) SBP driver.
+
+:func:`stochastic_block_partition` runs the agglomerative loop the paper
+summarises in Fig. 1: starting from one block per vertex, alternate a
+block-merge phase (Alg. 1) and an MCMC phase (Alg. 2), and let the
+golden-ratio search decide the next block count until it brackets the
+description-length minimum.
+
+The driver is also used as a building block by DC-SBP (per-subgraph runs and
+the root-rank fine-tuning) via the ``initial_blockmodel`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.blockmodel.blockmodel import Blockmodel
+from repro.core.config import SBPConfig
+from repro.core.golden_ratio import GoldenRatioSearch
+from repro.core.mcmc import make_sweep_fn, mcmc_phase
+from repro.core.merges import block_merge_phase
+from repro.core.results import IterationRecord, SBPResult
+from repro.graphs.graph import Graph
+from repro.utils.rng import RngRegistry
+from repro.utils.timing import PhaseTimer, Timer
+
+__all__ = ["stochastic_block_partition"]
+
+#: Hard cap on outer (merge + MCMC) cycles, as a safety net against a search
+#: that keeps proposing new block counts.  The golden-ratio bracket converges
+#: in O(log V) cycles in practice, far below this.
+MAX_CYCLES = 200
+
+
+def stochastic_block_partition(
+    graph: Graph,
+    config: Optional[SBPConfig] = None,
+    initial_blockmodel: Optional[Blockmodel] = None,
+    rng_registry: Optional[RngRegistry] = None,
+    algorithm_label: str = "sbp",
+) -> SBPResult:
+    """Run (sequential or shared-memory-style) SBP on ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The graph to partition.
+    config:
+        Algorithm parameters; defaults to :class:`SBPConfig()`.
+    initial_blockmodel:
+        Start from this blockmodel instead of the one-block-per-vertex
+        state.  Used by DC-SBP's fine-tuning stage, which resumes from the
+        combined partial results.
+    rng_registry:
+        Random-stream registry; defaults to one derived from ``config.seed``.
+    algorithm_label:
+        Label recorded in the result (e.g. ``"sbp"``, ``"dcsbp-subgraph"``).
+
+    Returns
+    -------
+    SBPResult
+        The best blockmodel found, its description length, and per-phase
+        timings / history.
+    """
+    config = config or SBPConfig()
+    rngs = rng_registry or RngRegistry(config.seed)
+    timers = PhaseTimer()
+    total_timer = Timer()
+    total_timer.start()
+
+    if initial_blockmodel is not None:
+        current = initial_blockmodel.copy()
+    else:
+        current = Blockmodel.from_graph(graph)
+    if current.graph is not graph and current.graph != graph:
+        raise ValueError("initial_blockmodel must be defined over the same graph")
+
+    search = GoldenRatioSearch(config.block_reduction_rate, config.min_blocks)
+    sweep_fn = make_sweep_fn(config)
+    num_to_merge = max(int(round(current.num_blocks * config.block_reduction_rate)), 0)
+    history = []
+
+    if initial_blockmodel is not None:
+        # Fine-tuning mode (DC-SBP line 23): refine the supplied partition at
+        # its current granularity first and seed the golden-ratio search with
+        # it, so the search can return the starting block count if merging
+        # only makes the description length worse.
+        with timers.measure("mcmc"):
+            warm = mcmc_phase(current, config, rngs.get("mcmc", 0), sweep_fn=sweep_fn)
+        decision = search.update(current, warm.description_length)
+        if config.track_history:
+            history.append(
+                IterationRecord(
+                    iteration=0,
+                    num_blocks=current.num_blocks,
+                    description_length=warm.description_length,
+                    mcmc_sweeps=warm.sweeps,
+                    accepted_moves=warm.accepted_moves,
+                )
+            )
+        if decision.done:
+            num_to_merge = 0
+        else:
+            current = decision.start.copy()
+            num_to_merge = decision.num_blocks_to_merge
+
+    cycle = 0
+    while cycle < MAX_CYCLES and num_to_merge > 0:
+        cycle += 1
+        with timers.measure("block_merge"):
+            merged = block_merge_phase(current, num_to_merge, config, rngs.get("merge", cycle))
+        with timers.measure("mcmc"):
+            phase = mcmc_phase(merged, config, rngs.get("mcmc", cycle), sweep_fn=sweep_fn)
+        dl = phase.description_length
+        if config.validate:
+            merged.check_consistency()
+        if config.track_history:
+            history.append(
+                IterationRecord(
+                    iteration=cycle,
+                    num_blocks=merged.num_blocks,
+                    description_length=dl,
+                    mcmc_sweeps=phase.sweeps,
+                    accepted_moves=phase.accepted_moves,
+                    phase_seconds={
+                        "block_merge": timers.elapsed("block_merge"),
+                        "mcmc": timers.elapsed("mcmc"),
+                    },
+                )
+            )
+        decision = search.update(merged, dl)
+        if decision.done:
+            break
+        current = decision.start.copy()
+        num_to_merge = decision.num_blocks_to_merge
+
+    if all(entry is None for entry in search.entries):
+        # Degenerate inputs (e.g. a single-vertex graph) never enter the loop;
+        # the current blockmodel is the answer.
+        search.update(current, current.description_length())
+    best = search.best()
+    total_timer.stop()
+
+    # Relabel the winning assignment contiguously for downstream consumers.
+    final = Blockmodel.from_assignment(graph, best.blockmodel.assignment, relabel=True)
+    return SBPResult(
+        graph=graph,
+        blockmodel=final,
+        description_length=final.description_length(),
+        algorithm=algorithm_label,
+        num_ranks=1,
+        runtime_seconds=total_timer.elapsed,
+        phase_seconds=timers.as_dict(),
+        history=history,
+        metadata={"cycles": cycle},
+    )

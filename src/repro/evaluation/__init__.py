@@ -1,0 +1,41 @@
+"""Evaluation metrics used in the paper's result sections.
+
+* **NMI** (normalised mutual information) against the planted ground truth —
+  Tables VI-VIII, Figs. 2 and 4.
+* **DL_norm** (normalised description length) for graphs without ground
+  truth — Fig. 6.
+* **Island-vertex analysis** linking DC-SBP's data distribution to its
+  accuracy collapse — Fig. 2.
+* Supplementary clustering metrics (ARI, pairwise precision/recall) that the
+  wider Graph Challenge tooling reports.
+"""
+
+from repro.evaluation.nmi import (
+    contingency_table,
+    partition_entropy,
+    mutual_information,
+    normalized_mutual_information,
+)
+from repro.evaluation.metrics import (
+    adjusted_rand_index,
+    pairwise_precision_recall,
+    PartitionComparison,
+    compare_partitions,
+)
+from repro.evaluation.islands import IslandStudyPoint, island_study
+from repro.blockmodel.entropy import normalized_description_length, null_description_length
+
+__all__ = [
+    "contingency_table",
+    "partition_entropy",
+    "mutual_information",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "pairwise_precision_recall",
+    "PartitionComparison",
+    "compare_partitions",
+    "IslandStudyPoint",
+    "island_study",
+    "normalized_description_length",
+    "null_description_length",
+]

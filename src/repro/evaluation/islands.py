@@ -1,0 +1,91 @@
+"""Island-vertex analysis (paper Fig. 2).
+
+The paper attributes DC-SBP's accuracy collapse to *island vertices*:
+vertices that lose every edge when the graph is split round-robin into
+disconnected per-rank subgraphs.  Fig. 2 plots the island-vertex fraction
+induced by the data distribution against the NMI DC-SBP achieves, showing
+robustness up to roughly 10 % islands and collapse beyond ~20 %.
+
+:func:`island_study` produces exactly those (island fraction, NMI) points
+for a set of graphs and rank counts; the Fig. 2 benchmark feeds it the
+Table III parameter-sweep graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition_ops import island_fraction, round_robin_assignment
+
+__all__ = ["IslandStudyPoint", "island_study", "bin_island_study"]
+
+
+@dataclass(frozen=True)
+class IslandStudyPoint:
+    """One point of Fig. 2: a (graph, rank count) configuration."""
+
+    graph_name: str
+    num_ranks: int
+    island_fraction: float
+    nmi: float
+
+
+def island_study(
+    graphs: Sequence[Graph],
+    rank_counts: Sequence[int],
+    nmi_for: Callable[[Graph, int], float],
+) -> List[IslandStudyPoint]:
+    """Compute (island fraction, NMI) for every graph × rank-count pair.
+
+    Parameters
+    ----------
+    graphs:
+        The evaluation graphs (with planted ground truth).
+    rank_counts:
+        Numbers of MPI ranks (subgraphs) to examine.
+    nmi_for:
+        Callback ``(graph, num_ranks) -> NMI`` that actually runs DC-SBP (or
+        reads a cached result).  Keeping it a callback lets the benchmark
+        reuse results computed for Table VII.
+    """
+    points: List[IslandStudyPoint] = []
+    for graph in graphs:
+        for num_ranks in rank_counts:
+            owner = round_robin_assignment(graph.num_vertices, num_ranks)
+            frac = island_fraction(graph, owner)
+            nmi = float(nmi_for(graph, num_ranks))
+            points.append(IslandStudyPoint(graph.name or "graph", int(num_ranks), frac, nmi))
+    return points
+
+
+def bin_island_study(
+    points: Iterable[IslandStudyPoint],
+    bin_edges: Optional[Sequence[float]] = None,
+) -> List[dict]:
+    """Aggregate Fig. 2 points into island-fraction bins (mean NMI per bin).
+
+    Returns a list of ``{"low", "high", "mean_island_fraction", "mean_nmi",
+    "count"}`` dictionaries, skipping empty bins.
+    """
+    pts = list(points)
+    if bin_edges is None:
+        bin_edges = [0.0, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0]
+    rows: List[dict] = []
+    for low, high in zip(bin_edges[:-1], bin_edges[1:]):
+        members = [p for p in pts if low <= p.island_fraction < high or (high == 1.0 and p.island_fraction == 1.0)]
+        if not members:
+            continue
+        rows.append(
+            {
+                "low": float(low),
+                "high": float(high),
+                "mean_island_fraction": float(np.mean([p.island_fraction for p in members])),
+                "mean_nmi": float(np.mean([p.nmi for p in members])),
+                "count": len(members),
+            }
+        )
+    return rows

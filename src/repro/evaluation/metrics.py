@@ -1,0 +1,96 @@
+"""Supplementary partition-comparison metrics.
+
+NMI (:mod:`repro.evaluation.nmi`) is the paper's headline accuracy metric;
+the Graph Challenge harness additionally reports pairwise precision/recall
+and the adjusted Rand index, so they are provided here for completeness and
+used by several integration tests as independent checks that a recovered
+partition really matches the planted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.evaluation.nmi import contingency_table, normalized_mutual_information
+
+__all__ = [
+    "adjusted_rand_index",
+    "pairwise_precision_recall",
+    "PartitionComparison",
+    "compare_partitions",
+]
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    x = x.astype(np.float64)
+    return x * (x - 1.0) / 2.0
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Adjusted Rand index in ``[-1, 1]``; 1 means identical partitions."""
+    table = contingency_table(labels_a, labels_b)
+    n = table.sum()
+    if n <= 1:
+        return 1.0
+    sum_comb_cells = _comb2(table).sum()
+    sum_comb_rows = _comb2(table.sum(axis=1)).sum()
+    sum_comb_cols = _comb2(table.sum(axis=0)).sum()
+    total_pairs = _comb2(np.asarray([n]))[0]
+    expected = sum_comb_rows * sum_comb_cols / total_pairs if total_pairs else 0.0
+    max_index = 0.5 * (sum_comb_rows + sum_comb_cols)
+    denom = max_index - expected
+    if denom == 0.0:
+        return 1.0 if sum_comb_cells == expected else 0.0
+    return float((sum_comb_cells - expected) / denom)
+
+
+def pairwise_precision_recall(truth: np.ndarray, predicted: np.ndarray) -> Tuple[float, float]:
+    """Pairwise precision and recall of ``predicted`` against ``truth``.
+
+    A *pair* is any two vertices placed in the same community.  Precision is
+    the fraction of predicted same-community pairs that are truly together;
+    recall is the fraction of true pairs recovered.
+    """
+    table = contingency_table(truth, predicted)
+    together_both = _comb2(table).sum()
+    together_truth = _comb2(table.sum(axis=1)).sum()
+    together_pred = _comb2(table.sum(axis=0)).sum()
+    precision = float(together_both / together_pred) if together_pred > 0 else 1.0
+    recall = float(together_both / together_truth) if together_truth > 0 else 1.0
+    return precision, recall
+
+
+@dataclass(frozen=True)
+class PartitionComparison:
+    """All partition-quality metrics for one run, in one place."""
+
+    nmi: float
+    ari: float
+    precision: float
+    recall: float
+    num_true_communities: int
+    num_predicted_communities: int
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def compare_partitions(truth: np.ndarray, predicted: np.ndarray) -> PartitionComparison:
+    """Compute NMI, ARI, and pairwise precision/recall in one call."""
+    truth = np.asarray(truth, dtype=np.int64)
+    predicted = np.asarray(predicted, dtype=np.int64)
+    precision, recall = pairwise_precision_recall(truth, predicted)
+    return PartitionComparison(
+        nmi=normalized_mutual_information(truth, predicted),
+        ari=adjusted_rand_index(truth, predicted),
+        precision=precision,
+        recall=recall,
+        num_true_communities=int(np.unique(truth).size),
+        num_predicted_communities=int(np.unique(predicted).size),
+    )

@@ -1,0 +1,46 @@
+"""Directed graph substrate used by every SBP variant in this repository.
+
+The paper runs SBP on directed (multi)graphs; edges carry integer
+multiplicities.  :class:`~repro.graphs.graph.Graph` stores a compressed
+sparse representation of both edge directions plus a combined view used by
+the MCMC proposal step, which needs a vertex's in- and out-neighbourhoods at
+once.
+
+Submodules
+----------
+``graph``
+    The immutable :class:`Graph` container and construction helpers.
+``io``
+    Plain-text edge-list and Matrix-Market-style readers/writers.
+``partition_ops``
+    Vertex partitioning strategies (round-robin, degree-sorted balanced) and
+    subgraph extraction, plus island-vertex accounting.
+``generators``
+    Degree-corrected SBM samplers reproducing the paper's synthetic datasets
+    (Tables II-V).
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition_ops import (
+    SubgraphPartition,
+    degree_balanced_assignment,
+    extract_subgraph,
+    island_vertices,
+    island_fraction,
+    round_robin_assignment,
+)
+from repro.graphs.io import load_edge_list, save_edge_list, load_matrix_market, save_matrix_market
+
+__all__ = [
+    "Graph",
+    "SubgraphPartition",
+    "round_robin_assignment",
+    "degree_balanced_assignment",
+    "extract_subgraph",
+    "island_vertices",
+    "island_fraction",
+    "load_edge_list",
+    "save_edge_list",
+    "load_matrix_market",
+    "save_matrix_market",
+]

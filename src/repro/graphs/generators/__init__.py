@@ -1,0 +1,60 @@
+"""Synthetic graph generators reproducing the paper's datasets.
+
+The paper uses the ``graph-tool`` DCSBM generator; that library is not
+available here, so this package implements the same generative process from
+scratch:
+
+* community sizes drawn from a Dirichlet distribution (α = 2 for the
+  high-variation graphs used throughout the paper's evaluation),
+* a planted block structure with a configurable intra- to inter-community
+  edge ratio (≈ 2 in the paper),
+* degree-corrected edge placement driven by power-law degree sequences with
+  configurable truncation and in/out duplication — the two generator knobs
+  whose interaction the paper studies in its exhaustive parameter sweep
+  (Table III).
+
+Dataset families:
+
+========================  =============================================
+``challenge``             Graph-Challenge-style graphs (Table II)
+``parameter_sweep``       the 16 TTT33 … FFF150 graphs (Table III)
+``scaling``               the 1M/2M/4M scaling graphs (Table IV)
+``realworld``             stand-ins for the SNAP graphs (Table V)
+========================  =============================================
+"""
+
+from repro.graphs.generators.degree import (
+    power_law_degree_sequence,
+    split_degree_sequence,
+    DegreeSequenceSpec,
+)
+from repro.graphs.generators.sbm import DCSBMSpec, generate_dcsbm_graph, sample_block_sizes
+from repro.graphs.generators.challenge import CHALLENGE_GRAPHS, ChallengeGraphSpec, challenge_graph
+from repro.graphs.generators.parameter_sweep import (
+    PARAMETER_SWEEP_GRAPHS,
+    ParameterSweepSpec,
+    parameter_sweep_graph,
+)
+from repro.graphs.generators.scaling import SCALING_GRAPHS, ScalingGraphSpec, scaling_graph
+from repro.graphs.generators.realworld import REALWORLD_GRAPHS, RealWorldSpec, realworld_graph
+
+__all__ = [
+    "power_law_degree_sequence",
+    "split_degree_sequence",
+    "DegreeSequenceSpec",
+    "DCSBMSpec",
+    "generate_dcsbm_graph",
+    "sample_block_sizes",
+    "CHALLENGE_GRAPHS",
+    "ChallengeGraphSpec",
+    "challenge_graph",
+    "PARAMETER_SWEEP_GRAPHS",
+    "ParameterSweepSpec",
+    "parameter_sweep_graph",
+    "SCALING_GRAPHS",
+    "ScalingGraphSpec",
+    "scaling_graph",
+    "REALWORLD_GRAPHS",
+    "RealWorldSpec",
+    "realworld_graph",
+]

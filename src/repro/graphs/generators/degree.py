@@ -1,0 +1,114 @@
+"""Power-law degree sequences with the paper's truncation/duplication knobs.
+
+Section IV-A of the paper isolates three generator differences between the
+Graph Challenge graphs and the web-graph-like graphs:
+
+1. *Truncation of the minimum degree* — Graph Challenge graphs truncate the
+   degree distribution at a minimum of 10; web-graph-like graphs allow
+   minimum degree 1, producing much sparser graphs.
+2. *Truncation of the maximum degree* — Graph Challenge graphs cap the degree
+   at 100; web-graph-like graphs cap it at a fraction of the vertex count.
+3. *Degree-sequence duplication* — Graph Challenge graphs reuse one sequence
+   for both in- and out-degrees (so every vertex's total degree is at least
+   twice the minimum); web-graph-like graphs generate a *total* degree
+   sequence and split it randomly between in and out, allowing total degree 1.
+
+All three knobs are modelled here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DegreeSequenceSpec", "power_law_degree_sequence", "split_degree_sequence"]
+
+
+@dataclass(frozen=True)
+class DegreeSequenceSpec:
+    """Parameters of a truncated discrete power-law degree sequence.
+
+    Attributes
+    ----------
+    exponent:
+        Power-law exponent γ of ``P(d) ∝ d^(-γ)``.  The Graph Challenge
+        generator uses γ ≈ 3 for its truncated distributions.
+    min_degree / max_degree:
+        Inclusive truncation bounds.
+    duplicate:
+        If ``True``, one sequence is used for both in- and out-degrees
+        (Graph Challenge convention).  If ``False``, the sequence is treated
+        as *total* degrees and split randomly between in and out.
+    """
+
+    exponent: float = 3.0
+    min_degree: int = 1
+    max_degree: int = 100
+    duplicate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.min_degree < 1:
+            raise ValueError("min_degree must be at least 1")
+        if self.max_degree < self.min_degree:
+            raise ValueError("max_degree must be >= min_degree")
+        if self.exponent <= 1.0:
+            raise ValueError("power-law exponent must exceed 1")
+
+
+def power_law_degree_sequence(
+    num_vertices: int,
+    spec: DegreeSequenceSpec,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample ``num_vertices`` degrees from a truncated discrete power law.
+
+    Uses inverse-transform sampling of the continuous Pareto distribution
+    truncated to ``[min_degree, max_degree + 1)`` followed by flooring, which
+    is the standard approximation for discrete power laws and is what
+    graph-tool's ``random_graph`` helper examples do.
+    """
+    if num_vertices <= 0:
+        return np.zeros(0, dtype=np.int64)
+    lo = float(spec.min_degree)
+    hi = float(spec.max_degree) + 1.0
+    gamma = spec.exponent
+    u = rng.random(num_vertices)
+    if np.isclose(gamma, 1.0):
+        raise ValueError("exponent 1 is not supported")
+    a = 1.0 - gamma
+    # Inverse CDF of the truncated Pareto on [lo, hi).
+    samples = (lo**a + u * (hi**a - lo**a)) ** (1.0 / a)
+    degrees = np.floor(samples).astype(np.int64)
+    return np.clip(degrees, spec.min_degree, spec.max_degree)
+
+
+def split_degree_sequence(
+    total_degrees: np.ndarray,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Randomly split total degrees into (out, in) parts, binomially.
+
+    Mirrors the web-graph-like generator described in the paper: each
+    vertex's total degree is split between its in- and out-degree uniformly
+    at random, which permits vertices with total degree 1 (and hence degree-0
+    in one direction).
+    """
+    total_degrees = np.asarray(total_degrees, dtype=np.int64)
+    out_degrees = rng.binomial(total_degrees, 0.5).astype(np.int64)
+    in_degrees = total_degrees - out_degrees
+    return out_degrees, in_degrees
+
+
+def directed_degree_sequences(
+    num_vertices: int,
+    spec: DegreeSequenceSpec,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(out_degrees, in_degrees)`` honouring the duplication knob."""
+    base = power_law_degree_sequence(num_vertices, spec, rng)
+    if spec.duplicate:
+        # Same sequence for both directions: total degree >= 2 * min_degree.
+        return base.copy(), base.copy()
+    return split_degree_sequence(base, rng)

@@ -1,0 +1,130 @@
+"""Stand-ins for the paper's real-world graphs (paper Table V).
+
+The paper evaluates DC-SBP and EDiSt on five SNAP graphs (Amazon, Patents,
+Berkeley-Stanford web, Twitter, LiveJournal) fetched from the SuiteSparse
+collection.  Those datasets are not available offline, so this module
+generates *structural stand-ins*: DCSBM graphs with latent (hidden) community
+structure, power-law degree distributions without minimum-degree truncation,
+and per-graph average degrees chosen to mirror the originals.  In particular
+the Twitter stand-in has by far the highest average degree — the property the
+paper credits for DC-SBP surviving to 16 subgraphs on that graph (Fig. 6).
+
+Because the originals have no reliable non-overlapping ground truth, the
+stand-ins deliberately *discard* the planted assignment: like the paper,
+accuracy on them is measured with the normalised description length
+(``DL_norm``), not NMI.  Use ``keep_truth=True`` to retain the planted labels
+for debugging.
+
+Users with the real SNAP/SuiteSparse files can load them directly with
+:func:`repro.graphs.io.load_matrix_market` and run the same benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.degree import DegreeSequenceSpec
+from repro.graphs.generators.sbm import DCSBMSpec, generate_dcsbm_graph
+
+__all__ = ["RealWorldSpec", "REALWORLD_GRAPHS", "realworld_graph"]
+
+
+@dataclass(frozen=True)
+class RealWorldSpec:
+    """One row of the paper's Table V plus stand-in generation knobs."""
+
+    graph_id: str
+    description: str
+    num_vertices: int
+    num_edges: int
+    #: Minimum degree used by the stand-in generator.  Real-world graphs are
+    #: not truncated; the Twitter graph's higher value reflects its much
+    #: higher average degree.
+    standin_min_degree: int = 1
+    #: Power-law exponent of the stand-in degree distribution.
+    standin_exponent: float = 2.6
+
+    @property
+    def average_total_degree(self) -> float:
+        return 2.0 * self.num_edges / max(self.num_vertices, 1)
+
+    def to_dcsbm(self, scale: float) -> DCSBMSpec:
+        num_vertices = max(int(round(self.num_vertices * scale)), 64)
+        # Latent community count grows sub-linearly, mimicking the community
+        # counts SBP recovers on these graphs.
+        num_communities = max(8, int(round(np.sqrt(num_vertices) / 2)))
+        max_degree = max(int(num_vertices * 0.05), 32)
+        # Choose the exponent/min-degree so the stand-in's average degree
+        # tracks the original's (heavier tails => higher mean degree).
+        degree_spec = DegreeSequenceSpec(
+            exponent=self.standin_exponent,
+            min_degree=self.standin_min_degree,
+            max_degree=max_degree,
+            duplicate=False,
+        )
+        return DCSBMSpec(
+            num_vertices=num_vertices,
+            num_communities=num_communities,
+            degree_spec=degree_spec,
+            intra_inter_ratio=2.0,
+            block_size_alpha=2.0,
+            min_community_size=2,
+            name=self.graph_id,
+        )
+
+
+#: Paper Table V.  The stand-in degree knobs are chosen so that each graph's
+#: *average total degree* tracks the original (Amazon/Patents ≈ 16-17,
+#: Berkeley-Stanford ≈ 22, Twitter ≈ 65 — by far the densest, LiveJournal
+#: ≈ 28): with a truncated power law of exponent ≈ 2.3 and minimum total
+#: degree m, the mean total degree lands near 4m, so m is set to roughly a
+#: quarter of the original's average degree.
+REALWORLD_GRAPHS: Dict[str, RealWorldSpec] = {
+    "amazon": RealWorldSpec("amazon", "Amazon co-purchasing graph", 403_394, 3_387_388,
+                            standin_min_degree=4, standin_exponent=2.3),
+    "patents": RealWorldSpec("patents", "Citation graph of US patents", 456_626, 3_774_768,
+                             standin_min_degree=4, standin_exponent=2.3),
+    "berk-stan": RealWorldSpec("berk-stan", "Berkeley-Stanford web graph", 685_230, 7_600_595,
+                               standin_min_degree=5, standin_exponent=2.3),
+    "twitter": RealWorldSpec("twitter", "Twitter social network graph", 456_626, 14_855_842,
+                             standin_min_degree=16, standin_exponent=2.3),
+    "livejournal": RealWorldSpec("livejournal", "LiveJournal social network graph", 4_847_571, 68_993_773,
+                                 standin_min_degree=7, standin_exponent=2.3),
+}
+
+
+def realworld_graph(
+    graph_id: str,
+    scale: float = 0.002,
+    seed: Optional[int] = None,
+    keep_truth: bool = False,
+) -> Graph:
+    """Generate a structural stand-in for one of the Table V graphs.
+
+    Parameters
+    ----------
+    graph_id:
+        ``"amazon"``, ``"patents"``, ``"berk-stan"``, ``"twitter"``, or
+        ``"livejournal"``.
+    scale:
+        Vertex-count scale factor relative to the original (defaults to a
+        laptop-friendly size; the originals range from 0.4M to 4.8M
+        vertices).
+    keep_truth:
+        Keep the planted assignment (for debugging).  The default mirrors the
+        paper: no ground truth, evaluation via ``DL_norm``.
+    """
+    key = graph_id.lower()
+    if key not in REALWORLD_GRAPHS:
+        raise KeyError(f"unknown real-world graph {graph_id!r}; options: {sorted(REALWORLD_GRAPHS)}")
+    spec = REALWORLD_GRAPHS[key].to_dcsbm(scale)
+    graph = generate_dcsbm_graph(spec, seed)
+    if keep_truth:
+        return graph
+    # Re-wrap without ground truth (the paper's real graphs have none).
+    src, dst, w = graph.edge_arrays()
+    return Graph(graph.num_vertices, src, dst, w, true_assignment=None, name=spec.name, aggregate=False)

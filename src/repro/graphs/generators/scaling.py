@@ -1,0 +1,64 @@
+"""Synthetic strong-scaling graphs (paper Table IV).
+
+The paper generates three large DCSBM graphs — 1M, 2M, and 4M vertices with
+roughly 11M, 24M, and 53M edges — to study EDiSt's strong scaling (Figs. 3-5).
+They follow the "hard" Graph Challenge structure: intra/inter edge ratio ≈ 2
+and Dirichlet(α=2) community sizes, with the community count growing roughly
+with the square root of the vertex count.
+
+Generating multi-million-vertex graphs is possible with this module but slow
+in pure Python, so the scaling benchmarks default to ``scale`` factors that
+preserve the 1:2:4 size progression at laptop-friendly sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.graphs.graph import Graph
+from repro.graphs.generators.degree import DegreeSequenceSpec
+from repro.graphs.generators.sbm import DCSBMSpec, generate_dcsbm_graph
+
+__all__ = ["ScalingGraphSpec", "SCALING_GRAPHS", "scaling_graph"]
+
+
+@dataclass(frozen=True)
+class ScalingGraphSpec:
+    """One row of the paper's Table IV."""
+
+    graph_id: str
+    num_communities: int
+    num_vertices: int
+    num_edges: int  # the paper's reported edge count (informational)
+
+    def to_dcsbm(self, scale: float = 1.0) -> DCSBMSpec:
+        degree_spec = DegreeSequenceSpec(exponent=3.0, min_degree=5, max_degree=100, duplicate=True)
+        spec = DCSBMSpec(
+            num_vertices=self.num_vertices,
+            num_communities=self.num_communities,
+            degree_spec=degree_spec,
+            intra_inter_ratio=2.0,
+            block_size_alpha=2.0,
+            name=self.graph_id,
+        )
+        if scale != 1.0:
+            spec = spec.scaled(scale)
+        return spec
+
+
+#: Paper Table IV.
+SCALING_GRAPHS: Dict[str, ScalingGraphSpec] = {
+    "1M": ScalingGraphSpec("1M", 1_075, 1_051_218, 11_056_834),
+    "2M": ScalingGraphSpec("2M", 1_521, 2_103_554, 23_987_218),
+    "4M": ScalingGraphSpec("4M", 2_151, 4_221_264, 53_175_026),
+}
+
+
+def scaling_graph(graph_id: str, scale: float = 1.0, seed: Optional[int] = None) -> Graph:
+    """Generate one of the Table IV scaling graphs (optionally scaled down)."""
+    key = graph_id.upper()
+    if key not in SCALING_GRAPHS:
+        raise KeyError(f"unknown scaling graph {graph_id!r}; options: {sorted(SCALING_GRAPHS)}")
+    spec = SCALING_GRAPHS[key].to_dcsbm(scale)
+    return generate_dcsbm_graph(spec, seed)

@@ -1,0 +1,166 @@
+"""Graph serialisation: TSV edge lists and a minimal Matrix Market subset.
+
+The paper obtains its real-world graphs in Matrix Market format from the
+SuiteSparse collection, and the Graph Challenge distributes TSV edge lists
+with a companion ``_truth`` file.  Both formats are supported here so that a
+user with access to those datasets can feed them straight into the library.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "load_truth_file",
+    "save_truth_file",
+    "load_matrix_market",
+    "save_matrix_market",
+]
+
+PathLike = Union[str, Path]
+
+
+def _open(path: PathLike, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t" if "b" not in mode else mode)
+    return open(path, mode)
+
+
+def save_edge_list(graph: Graph, path: PathLike, one_indexed: bool = True) -> None:
+    """Write ``src<TAB>dst<TAB>weight`` lines (Graph Challenge convention).
+
+    Graph Challenge TSV files are 1-indexed; pass ``one_indexed=False`` to
+    write 0-indexed ids.
+    """
+    offset = 1 if one_indexed else 0
+    with _open(path, "w") as fh:
+        for s, d, w in graph.edges():
+            fh.write(f"{s + offset}\t{d + offset}\t{w}\n")
+
+
+def load_edge_list(
+    path: PathLike,
+    num_vertices: Optional[int] = None,
+    one_indexed: bool = True,
+    truth_path: Optional[PathLike] = None,
+    name: str = "",
+) -> Graph:
+    """Load a TSV/CSV edge list (optionally gzipped).
+
+    Lines may contain 2 columns (unit weights) or 3 columns
+    (``src dst weight``); ``#`` and ``%`` lines are comments.
+    """
+    srcs: List[int] = []
+    dsts: List[int] = []
+    weights: List[int] = []
+    with _open(path, "r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.replace(",", " ").split()
+            s, d = int(parts[0]), int(parts[1])
+            w = int(float(parts[2])) if len(parts) > 2 else 1
+            srcs.append(s)
+            dsts.append(d)
+            weights.append(w)
+    offset = 1 if one_indexed else 0
+    src = np.asarray(srcs, dtype=np.int64) - offset
+    dst = np.asarray(dsts, dtype=np.int64) - offset
+    w = np.asarray(weights, dtype=np.int64)
+    if num_vertices is None:
+        num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1) if src.size else 0
+    truth = None
+    if truth_path is not None:
+        truth = load_truth_file(truth_path, num_vertices, one_indexed=one_indexed)
+    return Graph(num_vertices, src, dst, w, true_assignment=truth, name=name or str(path))
+
+
+def save_truth_file(assignment: np.ndarray, path: PathLike, one_indexed: bool = True) -> None:
+    """Write ``vertex<TAB>community`` lines for a ground-truth assignment."""
+    offset = 1 if one_indexed else 0
+    assignment = np.asarray(assignment, dtype=np.int64)
+    with _open(path, "w") as fh:
+        for v, c in enumerate(assignment):
+            fh.write(f"{v + offset}\t{int(c) + offset}\n")
+
+
+def load_truth_file(path: PathLike, num_vertices: int, one_indexed: bool = True) -> np.ndarray:
+    """Read a ``vertex<TAB>community`` ground-truth file."""
+    offset = 1 if one_indexed else 0
+    truth = np.full(num_vertices, -1, dtype=np.int64)
+    with _open(path, "r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.replace(",", " ").split()
+            v = int(parts[0]) - offset
+            c = int(parts[1]) - offset
+            if 0 <= v < num_vertices:
+                truth[v] = c
+    return truth
+
+
+def save_matrix_market(graph: Graph, path: PathLike) -> None:
+    """Write the graph as a ``coordinate integer general`` Matrix Market file."""
+    src, dst, w = graph.edge_arrays()
+    with _open(path, "w") as fh:
+        fh.write("%%MatrixMarket matrix coordinate integer general\n")
+        fh.write(f"{graph.num_vertices} {graph.num_vertices} {src.shape[0]}\n")
+        for s, d, weight in zip(src, dst, w):
+            fh.write(f"{s + 1} {d + 1} {weight}\n")
+
+
+def load_matrix_market(path: PathLike, name: str = "") -> Graph:
+    """Read a (subset of) Matrix Market coordinate file as a directed graph.
+
+    Supports ``general`` and ``symmetric`` coordinate matrices with integer,
+    real, or pattern values; symmetric entries are mirrored.
+    """
+    with _open(path, "r") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("not a Matrix Market file")
+        tokens = header.lower().split()
+        symmetric = "symmetric" in tokens
+        pattern = "pattern" in tokens
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        rows, cols, _nnz = (int(x) for x in line.split()[:3])
+        if rows != cols:
+            raise ValueError("adjacency matrix must be square")
+        srcs: List[int] = []
+        dsts: List[int] = []
+        weights: List[int] = []
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            parts = line.split()
+            s, d = int(parts[0]) - 1, int(parts[1]) - 1
+            w = 1 if pattern or len(parts) < 3 else max(int(round(float(parts[2]))), 1)
+            srcs.append(s)
+            dsts.append(d)
+            weights.append(w)
+            if symmetric and s != d:
+                srcs.append(d)
+                dsts.append(s)
+                weights.append(w)
+    return Graph(
+        rows,
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        np.asarray(weights, dtype=np.int64),
+        name=name or str(path),
+    )

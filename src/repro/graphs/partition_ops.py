@@ -1,0 +1,192 @@
+"""Vertex partitioning and subgraph extraction.
+
+Two partitioning strategies from the paper live here:
+
+* **Round-robin assignment** — DC-SBP (Alg. 3, line 1) deals vertex ``v`` to
+  rank ``v mod n``.  Because each rank then keeps only the edges internal to
+  its share, sparse graphs produce *island vertices* (vertices with no
+  remaining edges), which the paper identifies as the driver of DC-SBP's
+  accuracy collapse (Fig. 2).
+* **Degree-sorted balanced assignment** — EDiSt's MCMC phase sorts vertices
+  by degree and deals them in chunks of ``2n`` so that rank ``r`` receives the
+  ``r``-th highest and ``r``-th lowest degree vertex of every chunk
+  (Section III-B), balancing the per-rank work of the hybrid MCMC sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "round_robin_assignment",
+    "degree_balanced_assignment",
+    "contiguous_assignment",
+    "SubgraphPartition",
+    "extract_subgraph",
+    "island_vertices",
+    "island_fraction",
+]
+
+
+def round_robin_assignment(num_vertices: int, num_parts: int) -> np.ndarray:
+    """Return ``owner[v] = v mod num_parts`` for every vertex.
+
+    This is DC-SBP's data-distribution strategy.
+    """
+    if num_parts <= 0:
+        raise ValueError("num_parts must be positive")
+    return np.arange(num_vertices, dtype=np.int64) % num_parts
+
+
+def contiguous_assignment(num_vertices: int, num_parts: int) -> np.ndarray:
+    """Assign contiguous vertex ranges to parts (a simple baseline splitter)."""
+    if num_parts <= 0:
+        raise ValueError("num_parts must be positive")
+    return np.minimum(
+        (np.arange(num_vertices, dtype=np.int64) * num_parts) // max(num_vertices, 1),
+        num_parts - 1,
+    )
+
+
+def degree_balanced_assignment(graph: Graph, num_parts: int) -> np.ndarray:
+    """EDiSt's sorting-based balanced vertex ownership for the MCMC phase.
+
+    Vertices are sorted by total degree (descending).  The sorted order is
+    broken into chunks of ``2 * num_parts``; within each chunk rank ``r``
+    receives the ``r``-th highest-degree and the ``r``-th lowest-degree
+    vertex, i.e. positions ``r`` and ``2n - 1 - r``.  This pairs heavy and
+    light vertices so that every rank's share of MCMC work is comparable.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``owner[v]`` in ``[0, num_parts)`` for every vertex ``v``.
+    """
+    if num_parts <= 0:
+        raise ValueError("num_parts must be positive")
+    n = graph.num_vertices
+    owner = np.empty(n, dtype=np.int64)
+    # Sort by degree descending; stable so that ties keep vertex order.
+    order = np.argsort(-graph.degrees, kind="stable")
+    positions = np.arange(n, dtype=np.int64)
+    within = positions % (2 * num_parts)
+    # positions 0..n-1 -> rank; mirror the second half of each 2n chunk.
+    rank_for_within = np.where(within < num_parts, within, 2 * num_parts - 1 - within)
+    owner[order] = rank_for_within
+    return owner
+
+
+def island_vertices(graph: Graph, owner: np.ndarray, part: int) -> np.ndarray:
+    """Vertices owned by ``part`` that have no edges internal to ``part``.
+
+    A vertex is an *island* if, after dropping every edge with an endpoint
+    owned by another part, it has degree zero.  Island vertices carry no
+    information for the per-rank SBP run, which is what degrades DC-SBP.
+    """
+    owner = np.asarray(owner, dtype=np.int64)
+    if owner.shape != (graph.num_vertices,):
+        raise ValueError("owner must assign every vertex")
+    members = np.flatnonzero(owner == part)
+    islands: List[int] = []
+    member_set = set(int(v) for v in members)
+    for v in members:
+        nbrs = graph.neighbors(int(v))
+        has_internal = False
+        for u in nbrs:
+            if int(u) != int(v) and int(u) in member_set:
+                has_internal = True
+                break
+        if not has_internal:
+            islands.append(int(v))
+    return np.asarray(islands, dtype=np.int64)
+
+
+def island_fraction(graph: Graph, owner: np.ndarray) -> float:
+    """Fraction of all vertices that are islands under ``owner``.
+
+    This is the x-axis of the paper's Fig. 2.
+    """
+    owner = np.asarray(owner, dtype=np.int64)
+    total_islands = 0
+    for part in np.unique(owner):
+        total_islands += island_vertices(graph, owner, int(part)).shape[0]
+    return total_islands / max(graph.num_vertices, 1)
+
+
+@dataclass
+class SubgraphPartition:
+    """An induced subgraph plus the vertex-id mappings back to the parent.
+
+    Attributes
+    ----------
+    subgraph:
+        The induced :class:`Graph` over the local vertices (local ids
+        ``0..k-1``); only edges with both endpoints local are retained.
+    local_to_global:
+        ``local_to_global[i]`` is the parent-graph id of local vertex ``i``.
+    global_to_local:
+        Mapping from parent ids to local ids (``-1`` for non-members).
+    part:
+        Which part this subgraph corresponds to.
+    """
+
+    subgraph: Graph
+    local_to_global: np.ndarray
+    global_to_local: np.ndarray
+    part: int
+
+    @property
+    def num_island_vertices(self) -> int:
+        return int(np.count_nonzero(self.subgraph.degrees == 0))
+
+    def to_global_assignment(self, local_assignment: np.ndarray, num_global_vertices: int, fill: int = -1) -> np.ndarray:
+        """Scatter a local community assignment back into parent-graph ids."""
+        out = np.full(num_global_vertices, fill, dtype=np.int64)
+        out[self.local_to_global] = np.asarray(local_assignment, dtype=np.int64)
+        return out
+
+
+def extract_subgraph(graph: Graph, owner: np.ndarray, part: int) -> SubgraphPartition:
+    """Extract the induced subgraph of the vertices owned by ``part``.
+
+    Edges crossing part boundaries are discarded — exactly the information
+    loss DC-SBP incurs.  The planted ground truth (if any) is carried over so
+    that per-subgraph accuracy can still be evaluated.
+    """
+    owner = np.asarray(owner, dtype=np.int64)
+    if owner.shape != (graph.num_vertices,):
+        raise ValueError("owner must assign every vertex")
+    members = np.flatnonzero(owner == part)
+    global_to_local = np.full(graph.num_vertices, -1, dtype=np.int64)
+    global_to_local[members] = np.arange(members.shape[0], dtype=np.int64)
+
+    src, dst, w = graph.edge_arrays()
+    keep = (owner[src] == part) & (owner[dst] == part)
+    local_src = global_to_local[src[keep]]
+    local_dst = global_to_local[dst[keep]]
+    local_w = w[keep]
+
+    truth = None
+    if graph.true_assignment is not None:
+        truth = graph.true_assignment[members]
+
+    sub = Graph(
+        members.shape[0],
+        local_src,
+        local_dst,
+        local_w,
+        true_assignment=truth,
+        name=f"{graph.name}/part{part}",
+        aggregate=False,
+    )
+    return SubgraphPartition(subgraph=sub, local_to_global=members, global_to_local=global_to_local, part=part)
+
+
+def partition_all(graph: Graph, owner: np.ndarray) -> Dict[int, SubgraphPartition]:
+    """Extract every part's induced subgraph (convenience for DC-SBP)."""
+    return {int(p): extract_subgraph(graph, owner, int(p)) for p in np.unique(np.asarray(owner))}

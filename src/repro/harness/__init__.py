@@ -1,0 +1,32 @@
+"""Experiment harness: workload builders, runtime model, table formatting.
+
+Each of the paper's tables and figures has a corresponding ``run_*`` function
+in :mod:`repro.harness.experiments` that generates the workload, runs the
+relevant algorithms, and returns plain row dictionaries; the benchmark suite
+(``benchmarks/``) wraps those functions with ``pytest-benchmark`` and prints
+the regenerated table.
+
+Because the MPI ranks are simulated inside one Python process (see
+:mod:`repro.mpi`), measured wall-clock reflects the *total* work of all
+ranks, not the parallel runtime a cluster would achieve.  The
+:mod:`repro.harness.runtime_model` converts the per-rank measured work and
+the recorded communication volumes into a modelled cluster runtime with a
+standard α-β (latency/bandwidth) cost model — that modelled time is what the
+strong-scaling figures report, alongside the raw measurements.
+"""
+
+from repro.harness.runtime_model import RuntimeModelParams, modeled_runtime, speedup_series
+from repro.harness.settings import ExperimentSettings
+from repro.harness.tables import format_table, rows_to_csv, save_rows
+from repro.harness import experiments
+
+__all__ = [
+    "RuntimeModelParams",
+    "modeled_runtime",
+    "speedup_series",
+    "ExperimentSettings",
+    "format_table",
+    "rows_to_csv",
+    "save_rows",
+    "experiments",
+]

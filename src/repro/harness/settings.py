@@ -1,0 +1,119 @@
+"""Benchmark sizing presets.
+
+The paper's experiments run on graphs with up to 300M edges and 64 compute
+nodes; a pure-Python reproduction must scale everything down.  The presets
+here control graph scale factors and rank grids for the whole benchmark
+suite:
+
+* ``quick``  — the default; every table/figure regenerates in a few minutes
+  total on a laptop, at the cost of smaller graphs and a reduced rank grid.
+* ``full``   — larger graphs and the complete {1,2,4,8,16,32,64} rank grid;
+  closer to the paper but takes hours in pure Python.
+
+Select the preset with the ``REPRO_BENCH_MODE`` environment variable
+(``quick`` / ``full``) or by constructing :class:`ExperimentSettings`
+directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.config import SBPConfig
+
+__all__ = ["ExperimentSettings"]
+
+
+@dataclass
+class ExperimentSettings:
+    """Scale factors and grids for the benchmark harness."""
+
+    #: Preset name ("quick" or "full"), informational.
+    mode: str = "quick"
+    #: Scale factor applied to the Graph Challenge graphs (Tables II, VI).
+    challenge_scale: float = 0.03
+    #: Scale factor applied to the parameter-sweep graphs (Tables III, VII, VIII, Fig. 2).
+    sweep_scale: float = 0.045
+    #: Scale factor applied to the synthetic scaling graphs (Table IV, Figs. 3-5).
+    scaling_scale: float = 0.0008
+    #: Scale factor applied to the real-world stand-ins (Table V, Fig. 6).
+    realworld_scale: float = 0.0015
+    #: Parameter-sweep graph IDs exercised by Tables VII/VIII and Fig. 2
+    #: (one dense / minimum-degree-truncated graph and one sparse one — the
+    #: two families whose contrast carries the paper's argument).
+    sweep_graph_ids: List[str] = field(default_factory=lambda: ["TTT33", "FTT33"])
+    #: Rank counts ("compute nodes") for the accuracy sweeps.
+    rank_counts: List[int] = field(default_factory=lambda: [1, 2, 4, 8])
+    #: Rank counts for the strong-scaling figures.
+    scaling_rank_counts: List[int] = field(default_factory=lambda: [1, 2, 4, 8])
+    #: Tasks-per-node counts for Fig. 3.
+    tasks_per_node: List[int] = field(default_factory=lambda: [1, 4, 8])
+    #: Scaling graphs used by Figs. 3-5.
+    scaling_graph_ids: List[str] = field(default_factory=lambda: ["1M"])
+    #: Real-world stand-ins used by Fig. 6 (the Twitter stand-in is the
+    #: densest and carries Fig. 6's headline observation).
+    realworld_graph_ids: List[str] = field(default_factory=lambda: ["twitter"])
+    #: Challenge graphs used by Table VI.
+    challenge_graph_ids: List[str] = field(default_factory=lambda: ["20k-hard"])
+    #: Root seed for graph generation and the algorithms.
+    seed: int = 20230530
+    #: SBP configuration shared by every run.
+    config: SBPConfig = field(default_factory=lambda: SBPConfig.fast(seed=20230530))
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """The default laptop-friendly preset."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "ExperimentSettings":
+        """The closer-to-paper preset (hours of runtime in pure Python)."""
+        return cls(
+            mode="full",
+            challenge_scale=0.1,
+            sweep_scale=0.1,
+            scaling_scale=0.005,
+            realworld_scale=0.005,
+            sweep_graph_ids=[
+                "TTT33", "TTT150", "TTF33", "TTF150", "TFT33", "TFT150", "TFF33", "TFF150",
+                "FTT33", "FTT150", "FTF33", "FTF150", "FFT33", "FFT150", "FFF33", "FFF150",
+            ],
+            rank_counts=[1, 2, 4, 8, 16, 32, 64],
+            scaling_rank_counts=[1, 2, 4, 8, 16, 32, 64],
+            tasks_per_node=[1, 2, 4, 8, 16],
+            scaling_graph_ids=["1M", "2M", "4M"],
+            realworld_graph_ids=["amazon", "patents", "berk-stan", "twitter", "livejournal"],
+            challenge_graph_ids=["20k-easy", "20k-hard", "50k-easy", "50k-hard"],
+            config=SBPConfig(seed=20230530),
+        )
+
+    @classmethod
+    def smoke(cls) -> "ExperimentSettings":
+        """A tiny preset used by the integration tests (seconds, not minutes)."""
+        return cls(
+            mode="smoke",
+            challenge_scale=0.015,
+            sweep_scale=0.02,
+            scaling_scale=0.0004,
+            realworld_scale=0.0008,
+            sweep_graph_ids=["TTT33", "FTT33"],
+            rank_counts=[1, 4],
+            scaling_rank_counts=[1, 4],
+            tasks_per_node=[1, 4],
+            scaling_graph_ids=["1M"],
+            realworld_graph_ids=["amazon"],
+            challenge_graph_ids=["20k-hard"],
+            config=SBPConfig.fast(seed=20230530).with_overrides(max_mcmc_iterations=6),
+        )
+
+    @classmethod
+    def from_environment(cls, default: Optional[str] = None) -> "ExperimentSettings":
+        """Build settings from the ``REPRO_BENCH_MODE`` environment variable."""
+        mode = os.environ.get("REPRO_BENCH_MODE", default or "quick").lower()
+        if mode == "full":
+            return cls.full()
+        if mode == "smoke":
+            return cls.smoke()
+        return cls.quick()

@@ -1,0 +1,82 @@
+"""Plain-text and CSV rendering of regenerated tables.
+
+The benchmark modules print the regenerated table next to the paper's values
+so that ``pytest benchmarks/ --benchmark-only -s`` produces a readable,
+self-contained report; the same rows are saved as CSV/JSON under
+``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_table", "rows_to_csv", "save_rows", "results_dir"]
+
+Row = Dict[str, object]
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], columns: Optional[Sequence[str]] = None, title: str = "") -> str:
+    """Render rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Row], path: Union[str, Path], columns: Optional[Sequence[str]] = None) -> Path:
+    """Write rows to a CSV file, creating parent directories as needed."""
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        path.write_text("")
+        return path
+    if columns is None:
+        columns = list(rows[0].keys())
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path
+
+
+def results_dir() -> Path:
+    """Directory where benchmark artifacts are written (``REPRO_RESULTS_DIR``)."""
+    return Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+
+
+def save_rows(rows: Sequence[Row], name: str, columns: Optional[Sequence[str]] = None) -> Path:
+    """Persist rows as both CSV and JSON under the results directory."""
+    directory = results_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    csv_path = rows_to_csv(rows, directory / f"{name}.csv", columns)
+    with open(directory / f"{name}.json", "w") as fh:
+        json.dump(list(rows), fh, indent=2, default=str)
+    return csv_path

@@ -1,0 +1,44 @@
+"""An in-process, MPI-style communication substrate.
+
+The paper's algorithms are written against MPI (mpi4py / C++ MPI).  Neither
+an MPI runtime nor ``mpi4py`` is available in this environment, so this
+package provides a drop-in substitute that preserves the *semantics* the
+algorithms rely on — ranks, point-to-point messages, and the collectives
+(``barrier``, ``bcast``, ``gather``, ``allgather``, ``alltoall``,
+``allreduce``) — while running every rank inside one Python process.
+
+Two communicator implementations are provided:
+
+* :class:`~repro.mpi.communicator.SelfCommunicator` — a single-rank
+  communicator whose collectives are identity operations; used for the
+  sequential/shared-memory baselines.
+* :class:`~repro.mpi.threaded.ThreadCommunicator` — every rank is a Python
+  thread; collectives rendezvous through a shared exchange object.  Although
+  thread scheduling is nondeterministic, the algorithm results are
+  reproducible because each rank draws from its own seeded random stream and
+  every collective returns rank-indexed data, so no outcome depends on
+  arrival order.
+
+:func:`~repro.mpi.launcher.run_distributed` launches a rank function over
+``n`` ranks and returns the per-rank results, propagating the first rank
+exception (and aborting the others) on failure.  Per-rank traffic statistics
+(:class:`~repro.mpi.stats.CommStats`) feed the harness's α-β communication
+cost model.
+"""
+
+from repro.mpi.communicator import Communicator, SelfCommunicator, ReduceOp
+from repro.mpi.stats import CommStats, CommEvent
+from repro.mpi.threaded import ThreadCommunicator, ThreadCommWorld
+from repro.mpi.launcher import run_distributed, DistributedError
+
+__all__ = [
+    "Communicator",
+    "SelfCommunicator",
+    "ThreadCommunicator",
+    "ThreadCommWorld",
+    "ReduceOp",
+    "CommStats",
+    "CommEvent",
+    "run_distributed",
+    "DistributedError",
+]

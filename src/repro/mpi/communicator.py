@@ -1,0 +1,164 @@
+"""The communicator interface plus the trivial single-rank implementation.
+
+The interface deliberately mirrors the subset of mpi4py that the paper's
+algorithms use (lower-case, pickle-based methods): ``send``/``recv``,
+``barrier``, ``bcast``, ``scatter``, ``gather``, ``allgather``, ``alltoall``,
+and ``allreduce``.  Any code written against :class:`Communicator` could be
+ported to real mpi4py by swapping the object for ``MPI.COMM_WORLD``.
+"""
+
+from __future__ import annotations
+
+import abc
+from enum import Enum
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.mpi.stats import CommStats, payload_bytes
+
+__all__ = ["ReduceOp", "Communicator", "SelfCommunicator", "ANY_SOURCE"]
+
+#: Wildcard source for :meth:`Communicator.recv`.
+ANY_SOURCE = -1
+
+
+class ReduceOp(Enum):
+    """Reduction operators supported by :meth:`Communicator.allreduce`."""
+
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    PROD = "prod"
+    LAND = "land"
+    LOR = "lor"
+
+    def combine(self, values: Sequence[Any]) -> Any:
+        if self is ReduceOp.SUM:
+            result = values[0]
+            for v in values[1:]:
+                result = result + v
+            return result
+        if self is ReduceOp.MIN:
+            return min(values)
+        if self is ReduceOp.MAX:
+            return max(values)
+        if self is ReduceOp.PROD:
+            result = values[0]
+            for v in values[1:]:
+                result = result * v
+            return result
+        if self is ReduceOp.LAND:
+            return all(values)
+        if self is ReduceOp.LOR:
+            return any(values)
+        raise ValueError(f"unsupported reduction {self}")
+
+
+class Communicator(abc.ABC):
+    """Abstract MPI-style communicator over ``size`` ranks."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError("communicator size must be positive")
+        if not 0 <= rank < size:
+            raise ValueError("rank must lie in [0, size)")
+        self.rank = int(rank)
+        self.size = int(size)
+        self.stats = CommStats(rank=rank)
+
+    # -- point to point -------------------------------------------------
+    @abc.abstractmethod
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a picklable object to ``dest`` (blocking, buffered)."""
+
+    @abc.abstractmethod
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
+        """Receive an object from ``source`` (or any rank)."""
+
+    # -- collectives ----------------------------------------------------
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+
+    @abc.abstractmethod
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+
+    @abc.abstractmethod
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank onto ``root`` (others get ``None``)."""
+
+    @abc.abstractmethod
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one object per rank onto every rank (rank-indexed list)."""
+
+    @abc.abstractmethod
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        """Personalised exchange: rank ``i`` sends ``objs[j]`` to rank ``j``."""
+
+    @abc.abstractmethod
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter a ``size``-long sequence from ``root``; returns own item."""
+
+    # -- derived --------------------------------------------------------
+    def allreduce(self, value: Any, op: ReduceOp = ReduceOp.SUM) -> Any:
+        """Reduce a value across ranks and return the result everywhere."""
+        values = self.allgather(value)
+        return op.combine(values)
+
+    def reduce(self, value: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0) -> Optional[Any]:
+        """Reduce onto ``root`` only."""
+        values = self.gather(value, root=root)
+        if self.rank != root:
+            return None
+        return op.combine(values)
+
+    @property
+    def is_root(self) -> bool:
+        return self.rank == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(rank={self.rank}, size={self.size})"
+
+
+class SelfCommunicator(Communicator):
+    """A size-1 communicator; every collective is the identity.
+
+    The sequential SBP baseline and every per-rank unit test use this, so the
+    same algorithm code runs unchanged with or without distribution.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(rank=0, size=1)
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        raise RuntimeError("SelfCommunicator has no peers to send to")
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
+        raise RuntimeError("SelfCommunicator has no peers to receive from")
+
+    def barrier(self) -> None:
+        self.stats.record("barrier")
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self.stats.record("bcast")
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        self.stats.record("gather", sent=payload_bytes(obj), received=payload_bytes(obj))
+        return [obj]
+
+    def allgather(self, obj: Any) -> List[Any]:
+        self.stats.record("allgather", sent=payload_bytes(obj), received=payload_bytes(obj))
+        return [obj]
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        if len(objs) != 1:
+            raise ValueError("alltoall requires exactly one object per rank")
+        self.stats.record("alltoall", sent=payload_bytes(objs[0]), received=payload_bytes(objs[0]))
+        return [objs[0]]
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        if objs is None or len(objs) != 1:
+            raise ValueError("scatter requires exactly one object per rank")
+        self.stats.record("scatter")
+        return objs[0]

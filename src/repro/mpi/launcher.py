@@ -1,0 +1,115 @@
+"""Launch a rank function across simulated MPI ranks.
+
+:func:`run_distributed` is the in-process equivalent of ``mpiexec -n N``:
+it spawns one thread per rank, hands each a :class:`ThreadCommunicator`
+(or a :class:`SelfCommunicator` for ``N == 1``), runs the supplied function,
+and returns the per-rank results.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.mpi.communicator import Communicator, SelfCommunicator
+from repro.mpi.stats import CommStats
+from repro.mpi.threaded import ThreadCommWorld
+
+__all__ = ["run_distributed", "DistributedResult", "DistributedError"]
+
+
+class DistributedError(RuntimeError):
+    """Raised when one or more ranks fail; carries all per-rank exceptions."""
+
+    def __init__(self, failures: Dict[int, BaseException]) -> None:
+        self.failures = failures
+        summary = "; ".join(f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(failures.items()))
+        super().__init__(f"{len(failures)} rank(s) failed: {summary}")
+
+
+@dataclass
+class DistributedResult:
+    """Results of a simulated distributed run."""
+
+    num_ranks: int
+    results: List[Any]
+    comm_stats: List[CommStats] = field(default_factory=list)
+
+    @property
+    def root_result(self) -> Any:
+        return self.results[0]
+
+    def total_comm_stats(self) -> CommStats:
+        return CommStats.aggregate(self.comm_stats)
+
+
+def run_distributed(
+    num_ranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    timeout: float = 600.0,
+    **kwargs: Any,
+) -> DistributedResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``num_ranks`` simulated ranks.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of simulated MPI ranks.  ``1`` avoids threads entirely.
+    fn:
+        The rank program.  Its first positional argument is the rank's
+        :class:`Communicator`.
+    timeout:
+        Per-collective/receive timeout in seconds (guards against deadlocks
+        caused by mismatched collective sequences).
+
+    Returns
+    -------
+    DistributedResult
+        Per-rank return values (rank-indexed) plus per-rank communication
+        statistics.
+
+    Raises
+    ------
+    DistributedError
+        If any rank raises; the error aggregates every rank's exception.
+    """
+    if num_ranks <= 0:
+        raise ValueError("num_ranks must be positive")
+
+    if num_ranks == 1:
+        comm = SelfCommunicator()
+        result = fn(comm, *args, **kwargs)
+        return DistributedResult(1, [result], [comm.stats])
+
+    world = ThreadCommWorld(num_ranks, timeout=timeout)
+    comms = world.communicators()
+    results: List[Any] = [None] * num_ranks
+    failures: Dict[int, BaseException] = {}
+
+    def _target(rank: int) -> None:
+        try:
+            results[rank] = fn(comms[rank], *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - propagate to the launcher
+            failures[rank] = exc
+            world.abort(exc)
+
+    threads = [
+        threading.Thread(target=_target, args=(rank,), name=f"repro-rank-{rank}", daemon=True)
+        for rank in range(num_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if failures:
+        # Ranks that died only because the world was aborted are secondary;
+        # keep the original failures first for a readable error.
+        primary = {
+            r: e for r, e in failures.items() if not isinstance(e, RuntimeError) or "aborted" not in str(e)
+        }
+        raise DistributedError(primary or failures)
+
+    return DistributedResult(num_ranks, results, [c.stats for c in comms])

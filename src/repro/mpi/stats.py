@@ -1,0 +1,95 @@
+"""Per-rank communication accounting.
+
+Every communicator records, for each operation, how many times it was called
+and how many payload bytes were moved.  The experiment harness converts these
+counts into modelled communication time with an α-β (latency + bandwidth)
+cost model, which is how the strong-scaling figures estimate the growing
+all-to-all cost that the paper identifies as EDiSt's future bottleneck.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+__all__ = ["CommEvent", "CommStats", "payload_bytes"]
+
+
+def payload_bytes(obj: Any) -> int:
+    """Approximate the wire size of a Python payload via its pickle length.
+
+    NumPy arrays and other buffer objects pickle to roughly their raw size,
+    which is a good stand-in for what an MPI implementation would send.
+    """
+    if obj is None:
+        return 0
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+@dataclass
+class CommEvent:
+    """One communication call made by one rank."""
+
+    operation: str
+    bytes_sent: int
+    bytes_received: int
+
+
+@dataclass
+class CommStats:
+    """Aggregated communication counters for a single rank."""
+
+    rank: int = 0
+    calls: Dict[str, int] = field(default_factory=dict)
+    bytes_sent: Dict[str, int] = field(default_factory=dict)
+    bytes_received: Dict[str, int] = field(default_factory=dict)
+    events: List[CommEvent] = field(default_factory=list)
+    record_events: bool = False
+
+    def record(self, operation: str, sent: int = 0, received: int = 0) -> None:
+        self.calls[operation] = self.calls.get(operation, 0) + 1
+        self.bytes_sent[operation] = self.bytes_sent.get(operation, 0) + int(sent)
+        self.bytes_received[operation] = self.bytes_received.get(operation, 0) + int(received)
+        if self.record_events:
+            self.events.append(CommEvent(operation, int(sent), int(received)))
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(self.bytes_sent.values())
+
+    @property
+    def total_bytes_received(self) -> int:
+        return sum(self.bytes_received.values())
+
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Accumulate another rank's counters into this one (in place)."""
+        for op, count in other.calls.items():
+            self.calls[op] = self.calls.get(op, 0) + count
+        for op, nbytes in other.bytes_sent.items():
+            self.bytes_sent[op] = self.bytes_sent.get(op, 0) + nbytes
+        for op, nbytes in other.bytes_received.items():
+            self.bytes_received[op] = self.bytes_received.get(op, 0) + nbytes
+        return self
+
+    @classmethod
+    def aggregate(cls, stats: Iterable["CommStats"]) -> "CommStats":
+        """Sum a collection of per-rank stats into a single totals object."""
+        total = cls(rank=-1)
+        for s in stats:
+            total.merge(s)
+        return total
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "calls": dict(self.calls),
+            "bytes_sent": dict(self.bytes_sent),
+            "bytes_received": dict(self.bytes_received),
+        }

@@ -1,0 +1,235 @@
+"""Threaded multi-rank communicator.
+
+Every simulated MPI rank runs on its own Python thread; the communicators
+share a :class:`ThreadCommWorld` that implements rendezvous for the
+collectives and mailboxes for point-to-point messages.
+
+Collectives are sequenced: every rank's *n*-th collective call matches the
+other ranks' *n*-th call, exactly like MPI, so algorithms must issue
+collectives in the same order on every rank (the SBP algorithms do).  A
+mismatch — e.g. one rank calling ``allgather`` while another calls
+``barrier`` — raises instead of deadlocking.
+
+The GIL means the threads do not provide real CPU parallelism; that is fine,
+because the simulated communicator exists to exercise the *communication and
+convergence* behaviour of the distributed algorithms, while runtime scaling
+is assessed with the harness's work/communication model.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.mpi.communicator import ANY_SOURCE, Communicator
+from repro.mpi.stats import payload_bytes
+
+__all__ = ["ThreadCommWorld", "ThreadCommunicator"]
+
+_DEFAULT_TIMEOUT = 300.0  # seconds; prevents silent deadlocks in tests
+
+
+class _Collective:
+    """State for one in-flight collective call (identified by sequence no.)."""
+
+    __slots__ = ("name", "slots", "arrived", "done", "consumed")
+
+    def __init__(self, name: str, size: int) -> None:
+        self.name = name
+        self.slots: List[Any] = [None] * size
+        self.arrived = 0
+        self.done = False
+        self.consumed = 0
+
+
+class ThreadCommWorld:
+    """Shared state connecting the per-rank :class:`ThreadCommunicator`s."""
+
+    def __init__(self, size: int, timeout: float = _DEFAULT_TIMEOUT) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        self.timeout = timeout
+        self._lock = threading.Condition()
+        self._collectives: Dict[int, _Collective] = {}
+        self._mailboxes: Dict[int, List[Tuple[int, int, Any]]] = {r: [] for r in range(size)}
+        self._aborted: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    def communicators(self) -> List["ThreadCommunicator"]:
+        """Create one communicator per rank, all attached to this world."""
+        return [ThreadCommunicator(rank, self) for rank in range(self.size)]
+
+    def abort(self, exc: BaseException) -> None:
+        """Wake every waiting rank with an error (used when a rank raises)."""
+        with self._lock:
+            if self._aborted is None:
+                self._aborted = exc
+            self._lock.notify_all()
+
+    def _check_abort(self) -> None:
+        if self._aborted is not None:
+            raise RuntimeError(f"distributed run aborted: {self._aborted!r}") from self._aborted
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def exchange(self, seq: int, name: str, rank: int, value: Any) -> List[Any]:
+        """Generic all-to-all rendezvous used to build every collective.
+
+        Rank ``rank`` contributes ``value`` to collective number ``seq`` and
+        receives the rank-indexed list of all contributions.
+        """
+        deadline = None
+        with self._lock:
+            self._check_abort()
+            coll = self._collectives.get(seq)
+            if coll is None:
+                coll = _Collective(name, self.size)
+                self._collectives[seq] = coll
+            elif coll.name != name:
+                exc = RuntimeError(
+                    f"collective mismatch at step {seq}: rank {rank} called {name!r} "
+                    f"but another rank called {coll.name!r}"
+                )
+                self._aborted = self._aborted or exc
+                self._lock.notify_all()
+                raise exc
+            coll.slots[rank] = value
+            coll.arrived += 1
+            if coll.arrived == self.size:
+                coll.done = True
+                self._lock.notify_all()
+            else:
+                import time
+
+                deadline = time.monotonic() + self.timeout
+                while not coll.done:
+                    self._check_abort()
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        exc = RuntimeError(
+                            f"collective {name!r} (step {seq}) timed out waiting for peers"
+                        )
+                        self._aborted = self._aborted or exc
+                        self._lock.notify_all()
+                        raise exc
+                    self._lock.wait(timeout=min(remaining, 0.5))
+            result = list(coll.slots)
+            coll.consumed += 1
+            if coll.consumed == self.size:
+                # Everyone has read the result; free the slot.
+                del self._collectives[seq]
+            return result
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def put(self, dest: int, source: int, tag: int, payload: Any) -> None:
+        with self._lock:
+            self._check_abort()
+            self._mailboxes[dest].append((source, tag, payload))
+            self._lock.notify_all()
+
+    def take(self, dest: int, source: int, tag: int) -> Any:
+        import time
+
+        deadline = time.monotonic() + self.timeout
+        with self._lock:
+            while True:
+                self._check_abort()
+                box = self._mailboxes[dest]
+                for idx, (src, msg_tag, payload) in enumerate(box):
+                    if (source == ANY_SOURCE or src == source) and msg_tag == tag:
+                        box.pop(idx)
+                        return payload
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    exc = RuntimeError(
+                        f"recv on rank {dest} from {source} (tag {tag}) timed out"
+                    )
+                    self._aborted = self._aborted or exc
+                    self._lock.notify_all()
+                    raise exc
+                self._lock.wait(timeout=min(remaining, 0.5))
+
+
+class ThreadCommunicator(Communicator):
+    """Per-rank handle onto a :class:`ThreadCommWorld`."""
+
+    def __init__(self, rank: int, world: ThreadCommWorld) -> None:
+        super().__init__(rank, world.size)
+        self._world = world
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    # -- point to point -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError("destination rank out of range")
+        self.stats.record("send", sent=payload_bytes(obj))
+        self._world.put(dest, self.rank, tag, obj)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
+        obj = self._world.take(self.rank, source, tag)
+        self.stats.record("recv", received=payload_bytes(obj))
+        return obj
+
+    # -- collectives ----------------------------------------------------
+    def barrier(self) -> None:
+        self.stats.record("barrier")
+        self._world.exchange(self._next_seq(), "barrier", self.rank, None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        contribution = obj if self.rank == root else None
+        values = self._world.exchange(self._next_seq(), "bcast", self.rank, contribution)
+        result = values[root]
+        nbytes = payload_bytes(result)
+        self.stats.record("bcast", sent=nbytes if self.rank == root else 0, received=nbytes)
+        return result
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        values = self._world.exchange(self._next_seq(), "gather", self.rank, obj)
+        sent = payload_bytes(obj)
+        if self.rank == root:
+            self.stats.record("gather", sent=sent, received=sum(payload_bytes(v) for v in values))
+            return values
+        self.stats.record("gather", sent=sent)
+        return None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        values = self._world.exchange(self._next_seq(), "allgather", self.rank, obj)
+        self.stats.record(
+            "allgather",
+            sent=payload_bytes(obj) * (self.size - 1),
+            received=sum(payload_bytes(v) for i, v in enumerate(values) if i != self.rank),
+        )
+        return values
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        if len(objs) != self.size:
+            raise ValueError("alltoall requires exactly one object per rank")
+        matrix = self._world.exchange(self._next_seq(), "alltoall", self.rank, list(objs))
+        result = [matrix[src][self.rank] for src in range(self.size)]
+        self.stats.record(
+            "alltoall",
+            sent=sum(payload_bytes(o) for i, o in enumerate(objs) if i != self.rank),
+            received=sum(payload_bytes(o) for i, o in enumerate(result) if i != self.rank),
+        )
+        return result
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter requires one object per rank at the root")
+            contribution = list(objs)
+        else:
+            contribution = None
+        matrix = self._world.exchange(self._next_seq(), "scatter", self.rank, contribution)
+        item = matrix[root][self.rank]
+        self.stats.record("scatter", sent=payload_bytes(item) if self.rank == root else 0, received=payload_bytes(item))
+        return item

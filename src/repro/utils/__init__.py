@@ -1,0 +1,18 @@
+"""Shared utilities: random number management, timers, and lightweight logging.
+
+These helpers are intentionally dependency-free (beyond NumPy) so that every
+other subpackage can use them without creating import cycles.
+"""
+
+from repro.utils.rng import RngRegistry, spawn_rng, derive_seed
+from repro.utils.timing import Timer, PhaseTimer
+from repro.utils.log import get_logger
+
+__all__ = [
+    "RngRegistry",
+    "spawn_rng",
+    "derive_seed",
+    "Timer",
+    "PhaseTimer",
+    "get_logger",
+]

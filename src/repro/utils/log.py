@@ -1,0 +1,35 @@
+"""Lightweight logging configuration shared by the library and the harness."""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+__all__ = ["get_logger"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_CONFIGURED = False
+
+
+def _configure_root(level: Optional[str] = None) -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    level_name = level or os.environ.get("REPRO_LOG_LEVEL", "WARNING")
+    logging.basicConfig(level=getattr(logging, level_name.upper(), logging.WARNING), format=_FORMAT)
+    _CONFIGURED = True
+
+
+def get_logger(name: str, level: Optional[str] = None) -> logging.Logger:
+    """Return a library logger.
+
+    The first call configures the root handler; the ``REPRO_LOG_LEVEL``
+    environment variable controls verbosity (default ``WARNING`` so that
+    pytest output stays clean).
+    """
+    _configure_root(level)
+    logger = logging.getLogger(name)
+    if level is not None:
+        logger.setLevel(getattr(logging, level.upper(), logging.WARNING))
+    return logger

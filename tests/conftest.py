@@ -1,0 +1,76 @@
+"""Shared fixtures: small deterministic graphs and fast SBP configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SBPConfig
+from repro.graphs.generators.degree import DegreeSequenceSpec
+from repro.graphs.generators.sbm import DCSBMSpec, generate_dcsbm_graph
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> Graph:
+    """A hand-built 6-vertex directed graph with two obvious communities."""
+    edges = [
+        (0, 1), (1, 2), (2, 0), (1, 0), (2, 1),       # triangle A
+        (3, 4), (4, 5), (5, 3), (4, 3), (5, 4),       # triangle B
+        (0, 3),                                        # one bridge
+    ]
+    truth = np.array([0, 0, 0, 1, 1, 1])
+    return Graph.from_edges(6, edges, true_assignment=truth, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def planted_graph() -> Graph:
+    """A small, dense planted-partition graph that SBP recovers exactly."""
+    spec = DCSBMSpec(
+        num_vertices=160,
+        num_communities=4,
+        degree_spec=DegreeSequenceSpec(exponent=3.0, min_degree=8, max_degree=30, duplicate=True),
+        intra_inter_ratio=4.0,
+        block_size_alpha=10.0,
+        name="planted-160",
+    )
+    return generate_dcsbm_graph(spec, seed=12345)
+
+
+@pytest.fixture(scope="session")
+def hard_graph() -> Graph:
+    """A harder planted graph (paper-style high overlap / high variation)."""
+    spec = DCSBMSpec(
+        num_vertices=220,
+        num_communities=5,
+        degree_spec=DegreeSequenceSpec(exponent=3.0, min_degree=6, max_degree=40, duplicate=True),
+        intra_inter_ratio=2.0,
+        block_size_alpha=2.0,
+        name="hard-220",
+    )
+    return generate_dcsbm_graph(spec, seed=999)
+
+
+@pytest.fixture(scope="session")
+def sparse_graph() -> Graph:
+    """A sparse graph with minimum degree 1 (the paper's second failure mode)."""
+    spec = DCSBMSpec(
+        num_vertices=300,
+        num_communities=5,
+        degree_spec=DegreeSequenceSpec(exponent=2.1, min_degree=1, max_degree=40, duplicate=True),
+        intra_inter_ratio=2.5,
+        block_size_alpha=2.0,
+        name="sparse-300",
+    )
+    return generate_dcsbm_graph(spec, seed=4242)
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> SBPConfig:
+    """An SBP configuration tuned for sub-second test runs."""
+    return SBPConfig.fast(seed=7).with_overrides(max_mcmc_iterations=8)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2023)

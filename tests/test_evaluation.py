@@ -1,0 +1,159 @@
+"""Tests for the evaluation metrics (NMI, ARI, precision/recall, islands)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.islands import IslandStudyPoint, bin_island_study, island_study
+from repro.evaluation.metrics import (
+    adjusted_rand_index,
+    compare_partitions,
+    pairwise_precision_recall,
+)
+from repro.evaluation.nmi import (
+    contingency_table,
+    mutual_information,
+    normalized_mutual_information,
+    partition_entropy,
+)
+
+
+class TestContingencyAndEntropy:
+    def test_contingency_table_counts(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 1])
+        table = contingency_table(a, b)
+        assert table.tolist() == [[0, 2], [1, 1]]
+
+    def test_contingency_handles_label_gaps(self):
+        a = np.array([10, 10, 99])
+        b = np.array([5, 7, 7])
+        assert contingency_table(a, b).shape == (2, 2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            contingency_table(np.array([0, 1]), np.array([0]))
+
+    def test_entropy_uniform(self):
+        labels = np.array([0, 1, 2, 3])
+        assert partition_entropy(labels) == pytest.approx(np.log(4))
+
+    def test_entropy_single_label_is_zero(self):
+        assert partition_entropy(np.zeros(10, dtype=int)) == 0.0
+
+    def test_entropy_empty(self):
+        assert partition_entropy(np.array([], dtype=int)) == 0.0
+
+
+class TestNMI:
+    def test_identical_partitions_give_one(self):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_relabelling_does_not_change_nmi(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([5, 5, 9, 9, 7, 7])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_give_low_nmi(self, rng):
+        a = rng.integers(0, 5, 3000)
+        b = rng.integers(0, 5, 3000)
+        assert normalized_mutual_information(a, b) < 0.05
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 4, 200)
+        b = rng.integers(0, 6, 200)
+        assert normalized_mutual_information(a, b) == pytest.approx(normalized_mutual_information(b, a))
+
+    def test_trivial_vs_nontrivial_is_zero(self):
+        a = np.zeros(10, dtype=int)
+        b = np.arange(10)
+        assert normalized_mutual_information(a, b) == 0.0
+
+    def test_both_trivial_is_one(self):
+        a = np.zeros(10, dtype=int)
+        assert normalized_mutual_information(a, a) == 1.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        a = np.array([0] * 50 + [1] * 50)
+        b = a.copy()
+        b[:10] = 1  # corrupt 10 labels
+        nmi = normalized_mutual_information(a, b)
+        assert 0.2 < nmi < 1.0
+
+    @pytest.mark.parametrize("norm", ["average", "sqrt", "min", "max"])
+    def test_normalizations_bounded(self, rng, norm):
+        a = rng.integers(0, 4, 500)
+        b = a.copy()
+        b[:100] = rng.integers(0, 4, 100)
+        value = normalized_mutual_information(a, b, normalization=norm)
+        assert 0.0 <= value <= 1.0
+
+    def test_unknown_normalization_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.array([0, 1]), np.array([0, 1]), normalization="bogus")
+
+    def test_mutual_information_nonnegative(self, rng):
+        a = rng.integers(0, 3, 100)
+        b = rng.integers(0, 3, 100)
+        assert mutual_information(a, b) >= 0.0
+
+
+class TestOtherMetrics:
+    def test_ari_identical(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_ari_independent_near_zero(self, rng):
+        a = rng.integers(0, 5, 2000)
+        b = rng.integers(0, 5, 2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_precision_recall_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        precision, recall = pairwise_precision_recall(labels, labels)
+        assert precision == 1.0 and recall == 1.0
+
+    def test_overmerged_prediction_has_low_precision_high_recall(self):
+        truth = np.array([0, 0, 1, 1])
+        predicted = np.zeros(4, dtype=int)
+        precision, recall = pairwise_precision_recall(truth, predicted)
+        assert recall == 1.0
+        assert precision < 0.5
+
+    def test_oversplit_prediction_has_high_precision_low_recall(self):
+        truth = np.zeros(4, dtype=int)
+        predicted = np.array([0, 1, 2, 3])
+        precision, recall = pairwise_precision_recall(truth, predicted)
+        assert precision == 1.0
+        assert recall == 0.0
+
+    def test_compare_partitions_summary(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        predicted = np.array([0, 0, 1, 1, 1, 1])
+        comparison = compare_partitions(truth, predicted)
+        assert comparison.num_true_communities == 3
+        assert comparison.num_predicted_communities == 2
+        assert 0 < comparison.nmi < 1
+        assert 0 <= comparison.f1 <= 1
+
+
+class TestIslandStudy:
+    def test_island_study_points(self, sparse_graph):
+        points = island_study([sparse_graph], [2, 4], nmi_for=lambda g, r: 1.0 / r)
+        assert len(points) == 2  # one point per (graph, rank count) pair
+        assert all(0.0 <= p.island_fraction <= 1.0 for p in points)
+        assert points[0].num_ranks == 2
+
+    def test_bin_island_study_aggregates(self):
+        points = [
+            IslandStudyPoint("g", 2, 0.01, 0.9),
+            IslandStudyPoint("g", 4, 0.02, 0.8),
+            IslandStudyPoint("g", 8, 0.4, 0.1),
+        ]
+        rows = bin_island_study(points)
+        assert sum(r["count"] for r in rows) == 3
+        # Low-island bin should have higher NMI than the high-island bin.
+        assert rows[0]["mean_nmi"] > rows[-1]["mean_nmi"]
+
+    def test_bin_island_study_empty(self):
+        assert bin_island_study([]) == []

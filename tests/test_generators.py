@@ -1,0 +1,204 @@
+"""Tests for the degree sequences and the DCSBM graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators.challenge import CHALLENGE_GRAPHS, challenge_graph
+from repro.graphs.generators.degree import (
+    DegreeSequenceSpec,
+    directed_degree_sequences,
+    power_law_degree_sequence,
+    split_degree_sequence,
+)
+from repro.graphs.generators.parameter_sweep import (
+    PARAMETER_SWEEP_GRAPHS,
+    parameter_sweep_graph,
+    sweep_graph_ids,
+)
+from repro.graphs.generators.realworld import REALWORLD_GRAPHS, realworld_graph
+from repro.graphs.generators.sbm import DCSBMSpec, generate_dcsbm_graph, sample_block_sizes
+from repro.graphs.generators.scaling import SCALING_GRAPHS, scaling_graph
+
+
+class TestDegreeSequences:
+    def test_truncation_bounds_respected(self, rng):
+        spec = DegreeSequenceSpec(exponent=3.0, min_degree=10, max_degree=100)
+        seq = power_law_degree_sequence(5000, spec, rng)
+        assert seq.min() >= 10 and seq.max() <= 100
+
+    def test_min_degree_one_produces_degree_one_vertices(self, rng):
+        spec = DegreeSequenceSpec(exponent=3.0, min_degree=1, max_degree=100)
+        seq = power_law_degree_sequence(5000, spec, rng)
+        assert (seq == 1).sum() > 0
+
+    def test_heavier_tail_increases_mean(self, rng):
+        light = power_law_degree_sequence(5000, DegreeSequenceSpec(exponent=3.0, min_degree=1, max_degree=200), rng)
+        heavy = power_law_degree_sequence(5000, DegreeSequenceSpec(exponent=2.1, min_degree=1, max_degree=200), rng)
+        assert heavy.mean() > light.mean()
+
+    def test_split_preserves_totals(self, rng):
+        totals = rng.integers(1, 20, size=1000)
+        out_deg, in_deg = split_degree_sequence(totals, rng)
+        assert np.array_equal(out_deg + in_deg, totals)
+        assert (out_deg >= 0).all() and (in_deg >= 0).all()
+
+    def test_duplicated_sequences_are_equal(self, rng):
+        spec = DegreeSequenceSpec(min_degree=2, max_degree=50, duplicate=True)
+        out_deg, in_deg = directed_degree_sequences(500, spec, rng)
+        assert np.array_equal(out_deg, in_deg)
+
+    def test_non_duplicated_sequences_differ(self, rng):
+        spec = DegreeSequenceSpec(min_degree=2, max_degree=50, duplicate=False)
+        out_deg, in_deg = directed_degree_sequences(500, spec, rng)
+        assert not np.array_equal(out_deg, in_deg)
+
+    def test_zero_vertices(self, rng):
+        spec = DegreeSequenceSpec()
+        assert power_law_degree_sequence(0, spec, rng).shape == (0,)
+
+    @pytest.mark.parametrize("bad", [
+        dict(min_degree=0),
+        dict(max_degree=0, min_degree=1),
+        dict(exponent=1.0),
+        dict(min_degree=10, max_degree=5),
+    ])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            DegreeSequenceSpec(**bad)
+
+
+class TestBlockSizes:
+    def test_sizes_sum_to_vertices(self, rng):
+        sizes = sample_block_sizes(1000, 13, 2.0, rng)
+        assert sizes.sum() == 1000 and sizes.shape == (13,)
+
+    def test_minimum_size_respected(self, rng):
+        sizes = sample_block_sizes(100, 20, 0.5, rng, min_size=3)
+        assert sizes.min() >= 3
+
+    def test_low_alpha_gives_more_variation(self, rng):
+        varied = sample_block_sizes(10000, 20, 1.0, rng)
+        even = sample_block_sizes(10000, 20, 100.0, rng)
+        assert varied.std() > even.std()
+
+    def test_too_many_blocks_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_block_sizes(10, 20, 2.0, rng)
+
+
+class TestDCSBMGenerator:
+    def test_reproducible_with_seed(self):
+        spec = DCSBMSpec(num_vertices=100, num_communities=4)
+        a = generate_dcsbm_graph(spec, seed=1)
+        b = generate_dcsbm_graph(spec, seed=1)
+        assert a == b
+        assert np.array_equal(a.true_assignment, b.true_assignment)
+
+    def test_different_seeds_differ(self):
+        spec = DCSBMSpec(num_vertices=100, num_communities=4)
+        assert generate_dcsbm_graph(spec, seed=1) != generate_dcsbm_graph(spec, seed=2)
+
+    def test_truth_has_requested_communities(self, planted_graph):
+        assert np.unique(planted_graph.true_assignment).size == 4
+
+    def test_intra_inter_ratio_close_to_target(self):
+        spec = DCSBMSpec(
+            num_vertices=2000,
+            num_communities=8,
+            intra_inter_ratio=2.0,
+            block_size_alpha=10.0,
+        )
+        g = generate_dcsbm_graph(spec, seed=3)
+        truth = g.true_assignment
+        src, dst, w = g.edge_arrays()
+        intra = w[truth[src] == truth[dst]].sum()
+        inter = w.sum() - intra
+        assert 1.5 < intra / inter < 2.7
+
+    def test_scaled_spec_reduces_size(self):
+        spec = DCSBMSpec(num_vertices=10000, num_communities=50)
+        small = spec.scaled(0.1)
+        assert small.num_vertices < spec.num_vertices
+        assert 2 <= small.num_communities <= spec.num_communities
+
+    def test_scaled_spec_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DCSBMSpec(num_vertices=100, num_communities=4).scaled(0)
+
+    @pytest.mark.parametrize("bad", [
+        dict(num_vertices=0, num_communities=1),
+        dict(num_vertices=10, num_communities=0),
+        dict(num_vertices=4, num_communities=4, min_community_size=2),
+        dict(num_vertices=100, num_communities=4, intra_inter_ratio=0),
+        dict(num_vertices=100, num_communities=4, block_size_alpha=0),
+    ])
+    def test_invalid_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            DCSBMSpec(**bad)
+
+
+class TestDatasetRegistries:
+    def test_table2_has_six_graphs(self):
+        assert len(CHALLENGE_GRAPHS) == 6
+        assert {s.difficulty for s in CHALLENGE_GRAPHS.values()} == {"easy", "hard"}
+
+    def test_challenge_graph_generation(self):
+        g = challenge_graph("20k-hard", scale=0.01, seed=0)
+        assert g.name == "20k-hard"
+        assert g.num_vertices > 0 and g.true_assignment is not None
+
+    def test_challenge_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            challenge_graph("30k-easy")
+
+    def test_table3_has_sixteen_graphs(self):
+        assert len(PARAMETER_SWEEP_GRAPHS) == 16
+        assert len(sweep_graph_ids()) == 16
+        assert len(sweep_graph_ids(dense_only=True)) == 8
+        assert len(sweep_graph_ids(sparse_only=True)) == 8
+
+    def test_sweep_flags_match_ids(self):
+        spec = PARAMETER_SWEEP_GRAPHS["TTF150"]
+        assert spec.truncate_min_degree and spec.truncate_max_degree and not spec.duplicate_degree_sequence
+        assert spec.num_communities == 150
+        assert not spec.is_sparse_family
+        assert PARAMETER_SWEEP_GRAPHS["FTT33"].is_sparse_family
+
+    def test_sparse_family_is_sparser_than_dense(self):
+        dense = parameter_sweep_graph("TTT33", scale=0.02, seed=1)
+        sparse = parameter_sweep_graph("FTT33", scale=0.02, seed=1)
+        assert sparse.average_degree < dense.average_degree
+
+    def test_sweep_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            parameter_sweep_graph("XYZ42")
+
+    def test_table4_registry_and_generation(self):
+        assert set(SCALING_GRAPHS) == {"1M", "2M", "4M"}
+        g = scaling_graph("1M", scale=0.0005, seed=1)
+        assert g.true_assignment is not None
+        assert g.num_vertices > 0
+
+    def test_scaling_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            scaling_graph("8M")
+
+    def test_table5_registry(self):
+        assert set(REALWORLD_GRAPHS) == {"amazon", "patents", "berk-stan", "twitter", "livejournal"}
+
+    def test_realworld_standin_has_no_truth_by_default(self):
+        g = realworld_graph("amazon", scale=0.0005, seed=1)
+        assert g.true_assignment is None
+        g2 = realworld_graph("amazon", scale=0.0005, seed=1, keep_truth=True)
+        assert g2.true_assignment is not None
+
+    def test_twitter_standin_is_densest(self):
+        degrees = {}
+        for name in ("amazon", "twitter"):
+            g = realworld_graph(name, scale=0.001, seed=2)
+            degrees[name] = g.average_degree
+        assert degrees["twitter"] > degrees["amazon"]
+
+    def test_realworld_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            realworld_graph("facebook")

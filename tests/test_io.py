@@ -1,0 +1,111 @@
+"""Round-trip tests for graph serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    load_edge_list,
+    load_matrix_market,
+    load_truth_file,
+    save_edge_list,
+    save_matrix_market,
+    save_truth_file,
+)
+
+
+def test_edge_list_round_trip(tmp_path, planted_graph):
+    path = tmp_path / "graph.tsv"
+    save_edge_list(planted_graph, path)
+    loaded = load_edge_list(path, num_vertices=planted_graph.num_vertices)
+    assert loaded == planted_graph
+
+
+def test_edge_list_zero_indexed_round_trip(tmp_path, tiny_graph):
+    path = tmp_path / "graph0.tsv"
+    save_edge_list(tiny_graph, path, one_indexed=False)
+    loaded = load_edge_list(path, num_vertices=tiny_graph.num_vertices, one_indexed=False)
+    assert loaded == tiny_graph
+
+
+def test_edge_list_gzip_round_trip(tmp_path, tiny_graph):
+    path = tmp_path / "graph.tsv.gz"
+    save_edge_list(tiny_graph, path)
+    loaded = load_edge_list(path, num_vertices=tiny_graph.num_vertices)
+    assert loaded == tiny_graph
+
+
+def test_edge_list_infers_vertex_count(tmp_path, tiny_graph):
+    path = tmp_path / "graph.tsv"
+    save_edge_list(tiny_graph, path)
+    loaded = load_edge_list(path)
+    assert loaded.num_vertices == tiny_graph.num_vertices
+
+
+def test_edge_list_skips_comments(tmp_path):
+    path = tmp_path / "commented.tsv"
+    path.write_text("# header\n% other comment\n1\t2\n2\t3\t4\n")
+    g = load_edge_list(path)
+    assert g.num_vertices == 3
+    assert g.num_edges == 5  # 1 + weight 4
+
+
+def test_truth_file_round_trip(tmp_path, planted_graph):
+    path = tmp_path / "truth.tsv"
+    save_truth_file(planted_graph.true_assignment, path)
+    loaded = load_truth_file(path, planted_graph.num_vertices)
+    assert np.array_equal(loaded, planted_graph.true_assignment)
+
+
+def test_edge_list_with_truth(tmp_path, planted_graph):
+    gpath = tmp_path / "graph.tsv"
+    tpath = tmp_path / "truth.tsv"
+    save_edge_list(planted_graph, gpath)
+    save_truth_file(planted_graph.true_assignment, tpath)
+    loaded = load_edge_list(gpath, num_vertices=planted_graph.num_vertices, truth_path=tpath)
+    assert np.array_equal(loaded.true_assignment, planted_graph.true_assignment)
+
+
+def test_matrix_market_round_trip(tmp_path, planted_graph):
+    path = tmp_path / "graph.mtx"
+    save_matrix_market(planted_graph, path)
+    loaded = load_matrix_market(path)
+    assert loaded == planted_graph
+
+
+def test_matrix_market_symmetric_mirrors_edges(tmp_path):
+    path = tmp_path / "sym.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate integer symmetric\n"
+        "3 3 2\n"
+        "2 1 1\n"
+        "3 2 1\n"
+    )
+    g = load_matrix_market(path)
+    assert g.num_edges == 4
+    assert g.to_dense()[0, 1] == 1 and g.to_dense()[1, 0] == 1
+
+
+def test_matrix_market_pattern_values(tmp_path):
+    path = tmp_path / "pattern.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 1\n"
+        "1 2\n"
+    )
+    g = load_matrix_market(path)
+    assert g.num_edges == 1
+
+
+def test_matrix_market_rejects_non_square(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate integer general\n2 3 1\n1 2 1\n")
+    with pytest.raises(ValueError):
+        load_matrix_market(path)
+
+
+def test_matrix_market_rejects_wrong_header(tmp_path):
+    path = tmp_path / "bad2.mtx"
+    path.write_text("not a matrix market file\n")
+    with pytest.raises(ValueError):
+        load_matrix_market(path)

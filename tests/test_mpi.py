@@ -1,0 +1,199 @@
+"""Tests for the simulated MPI communicator."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.communicator import ANY_SOURCE, ReduceOp, SelfCommunicator
+from repro.mpi.launcher import DistributedError, run_distributed
+from repro.mpi.stats import CommStats, payload_bytes
+from repro.mpi.threaded import ThreadCommWorld
+
+
+class TestSelfCommunicator:
+    def test_basic_properties(self):
+        comm = SelfCommunicator()
+        assert comm.rank == 0 and comm.size == 1 and comm.is_root
+
+    def test_collectives_are_identity(self):
+        comm = SelfCommunicator()
+        comm.barrier()
+        assert comm.bcast({"a": 1}) == {"a": 1}
+        assert comm.gather(5) == [5]
+        assert comm.allgather("x") == ["x"]
+        assert comm.alltoall([3]) == [3]
+        assert comm.scatter([9]) == 9
+        assert comm.allreduce(4) == 4
+
+    def test_point_to_point_rejected(self):
+        comm = SelfCommunicator()
+        with pytest.raises(RuntimeError):
+            comm.send(1, dest=0)
+        with pytest.raises(RuntimeError):
+            comm.recv()
+
+    def test_stats_recorded(self):
+        comm = SelfCommunicator()
+        comm.allgather([1, 2, 3])
+        assert comm.stats.calls["allgather"] == 1
+        assert comm.stats.total_bytes_sent > 0
+
+
+class TestThreadCommunicator:
+    def test_allgather_returns_rank_indexed_values(self):
+        result = run_distributed(4, lambda comm: comm.allgather(comm.rank * 10))
+        for rank, values in enumerate(result.results):
+            assert values == [0, 10, 20, 30]
+
+    def test_bcast_from_nonzero_root(self):
+        def program(comm):
+            payload = {"data": list(range(5))} if comm.rank == 2 else None
+            return comm.bcast(payload, root=2)
+
+        result = run_distributed(3, program)
+        assert all(r == {"data": [0, 1, 2, 3, 4]} for r in result.results)
+
+    def test_gather_only_root_receives(self):
+        result = run_distributed(4, lambda comm: comm.gather(comm.rank + 1, root=1))
+        assert result.results[1] == [1, 2, 3, 4]
+        assert result.results[0] is None and result.results[2] is None
+
+    def test_scatter(self):
+        def program(comm):
+            data = [f"item-{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(data, root=0)
+
+        result = run_distributed(4, program)
+        assert result.results == ["item-0", "item-1", "item-2", "item-3"]
+
+    def test_alltoall_personalised_exchange(self):
+        def program(comm):
+            outgoing = [(comm.rank, dest) for dest in range(comm.size)]
+            incoming = comm.alltoall(outgoing)
+            return incoming
+
+        result = run_distributed(3, program)
+        for rank, incoming in enumerate(result.results):
+            assert incoming == [(src, rank) for src in range(3)]
+
+    def test_allreduce_operations(self):
+        def program(comm):
+            return (
+                comm.allreduce(comm.rank + 1, ReduceOp.SUM),
+                comm.allreduce(comm.rank + 1, ReduceOp.MIN),
+                comm.allreduce(comm.rank + 1, ReduceOp.MAX),
+                comm.allreduce(comm.rank + 1, ReduceOp.PROD),
+            )
+
+        result = run_distributed(4, program)
+        assert result.results[0] == (10, 1, 4, 24)
+
+    def test_reduce_to_root(self):
+        result = run_distributed(4, lambda comm: comm.reduce(comm.rank, ReduceOp.SUM, root=0))
+        assert result.results[0] == 6
+        assert result.results[1] is None
+
+    def test_send_recv_specific_source(self):
+        def program(comm):
+            if comm.rank == 0:
+                comm.send("from-0", dest=1, tag=7)
+                return None
+            if comm.rank == 1:
+                return comm.recv(source=0, tag=7)
+            return None
+
+        result = run_distributed(2, program)
+        assert result.results[1] == "from-0"
+
+    def test_recv_any_source(self):
+        def program(comm):
+            if comm.rank == 0:
+                received = [comm.recv(source=ANY_SOURCE, tag=0) for _ in range(comm.size - 1)]
+                return sorted(received)
+            comm.send(comm.rank, dest=0)
+            return None
+
+        result = run_distributed(4, program)
+        assert result.results[0] == [1, 2, 3]
+
+    def test_numpy_payloads(self):
+        def program(comm):
+            gathered = comm.allgather(np.full(4, comm.rank))
+            return int(sum(arr.sum() for arr in gathered))
+
+        result = run_distributed(3, program)
+        assert result.results == [12, 12, 12]
+
+    def test_barrier_completes(self):
+        result = run_distributed(5, lambda comm: comm.barrier() or comm.rank)
+        assert result.results == [0, 1, 2, 3, 4]
+
+    def test_collective_mismatch_raises(self):
+        def program(comm):
+            if comm.rank == 0:
+                return comm.allgather(1)
+            return comm.barrier()
+
+        with pytest.raises(DistributedError):
+            run_distributed(2, program, timeout=10.0)
+
+    def test_rank_exception_propagates(self):
+        def program(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return comm.allgather(comm.rank)
+
+        with pytest.raises(DistributedError) as excinfo:
+            run_distributed(3, program, timeout=10.0)
+        assert any(isinstance(e, ValueError) for e in excinfo.value.failures.values())
+
+    def test_alltoall_wrong_length_rejected(self):
+        def program(comm):
+            return comm.alltoall([1])
+
+        with pytest.raises(DistributedError):
+            run_distributed(2, program, timeout=10.0)
+
+    def test_comm_stats_collected_per_rank(self):
+        result = run_distributed(3, lambda comm: comm.allgather(b"x" * 100) and None)
+        assert len(result.comm_stats) == 3
+        total = result.total_comm_stats()
+        assert total.calls["allgather"] == 3
+        assert total.total_bytes_sent > 0
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            ThreadCommWorld(0)
+        with pytest.raises(ValueError):
+            run_distributed(0, lambda comm: None)
+
+
+class TestLauncherAndStats:
+    def test_single_rank_uses_self_communicator(self):
+        result = run_distributed(1, lambda comm: type(comm).__name__)
+        assert result.results == ["SelfCommunicator"]
+        assert result.root_result == "SelfCommunicator"
+
+    def test_payload_bytes_scales_with_size(self):
+        small = payload_bytes(np.zeros(10))
+        large = payload_bytes(np.zeros(10000))
+        assert large > small > 0
+        assert payload_bytes(None) == 0
+
+    def test_comm_stats_merge_and_aggregate(self):
+        a = CommStats(rank=0)
+        a.record("allgather", sent=10, received=20)
+        b = CommStats(rank=1)
+        b.record("allgather", sent=5, received=5)
+        b.record("send", sent=3)
+        total = CommStats.aggregate([a, b])
+        assert total.calls == {"allgather": 2, "send": 1}
+        assert total.total_bytes_sent == 18
+        assert total.total_bytes_received == 25
+        assert "allgather" in total.as_dict()["calls"]
+
+    def test_kwargs_forwarded_to_rank_program(self):
+        def program(comm, base, extra=0):
+            return base + extra + comm.rank
+
+        result = run_distributed(2, program, 100, extra=10)
+        assert result.results == [110, 111]

@@ -1,0 +1,135 @@
+"""Tests for vertex partitioning, subgraph extraction, and island analysis."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition_ops import (
+    contiguous_assignment,
+    degree_balanced_assignment,
+    extract_subgraph,
+    island_fraction,
+    island_vertices,
+    partition_all,
+    round_robin_assignment,
+)
+
+
+class TestAssignments:
+    def test_round_robin_pattern(self):
+        owner = round_robin_assignment(10, 4)
+        assert owner.tolist() == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_round_robin_single_part(self):
+        assert set(round_robin_assignment(5, 1).tolist()) == {0}
+
+    def test_round_robin_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            round_robin_assignment(5, 0)
+
+    def test_contiguous_assignment_is_sorted(self):
+        owner = contiguous_assignment(10, 3)
+        assert np.all(np.diff(owner) >= 0)
+        assert owner.min() == 0 and owner.max() == 2
+
+    def test_degree_balanced_covers_all_parts(self, planted_graph):
+        owner = degree_balanced_assignment(planted_graph, 4)
+        assert set(owner.tolist()) == {0, 1, 2, 3}
+
+    def test_degree_balanced_balances_counts(self, planted_graph):
+        owner = degree_balanced_assignment(planted_graph, 8)
+        counts = np.bincount(owner, minlength=8)
+        assert counts.max() - counts.min() <= 2
+
+    def test_degree_balanced_balances_degree_mass(self, planted_graph):
+        """The 2n-chunk scheme should even out the per-rank degree sums."""
+        owner = degree_balanced_assignment(planted_graph, 4)
+        sums = np.array([planted_graph.degrees[owner == r].sum() for r in range(4)], dtype=float)
+        assert sums.max() / sums.min() < 1.3
+
+    def test_degree_balanced_more_parts_than_vertices(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        owner = degree_balanced_assignment(g, 8)
+        assert owner.shape == (3,)
+        assert owner.max() < 8
+
+    def test_degree_balanced_rejects_zero_parts(self, planted_graph):
+        with pytest.raises(ValueError):
+            degree_balanced_assignment(planted_graph, 0)
+
+
+class TestSubgraphExtraction:
+    def test_extract_keeps_only_internal_edges(self, tiny_graph):
+        owner = np.array([0, 0, 0, 1, 1, 1])
+        part0 = extract_subgraph(tiny_graph, owner, 0)
+        # Triangle A has 5 internal edges; the bridge (0, 3) is dropped.
+        assert part0.subgraph.num_edges == 5
+        assert part0.subgraph.num_vertices == 3
+
+    def test_extract_preserves_ground_truth(self, tiny_graph):
+        owner = np.array([0, 1, 0, 1, 0, 1])
+        part1 = extract_subgraph(tiny_graph, owner, 1)
+        expected = tiny_graph.true_assignment[part1.local_to_global]
+        assert np.array_equal(part1.subgraph.true_assignment, expected)
+
+    def test_local_global_mappings_are_inverse(self, planted_graph):
+        owner = round_robin_assignment(planted_graph.num_vertices, 4)
+        part = extract_subgraph(planted_graph, owner, 2)
+        roundtrip = part.global_to_local[part.local_to_global]
+        assert np.array_equal(roundtrip, np.arange(part.subgraph.num_vertices))
+
+    def test_to_global_assignment_scatter(self, tiny_graph):
+        owner = np.array([0, 0, 0, 1, 1, 1])
+        part = extract_subgraph(tiny_graph, owner, 1)
+        local = np.array([7, 8, 9])
+        scattered = part.to_global_assignment(local, tiny_graph.num_vertices)
+        assert scattered.tolist() == [-1, -1, -1, 7, 8, 9]
+
+    def test_partition_all_covers_every_vertex(self, planted_graph):
+        owner = round_robin_assignment(planted_graph.num_vertices, 3)
+        parts = partition_all(planted_graph, owner)
+        total = sum(p.subgraph.num_vertices for p in parts.values())
+        assert total == planted_graph.num_vertices
+
+    def test_subgraph_edges_never_exceed_parent(self, planted_graph):
+        owner = round_robin_assignment(planted_graph.num_vertices, 4)
+        parts = partition_all(planted_graph, owner)
+        assert sum(p.subgraph.num_edges for p in parts.values()) <= planted_graph.num_edges
+
+    def test_owner_shape_mismatch_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            extract_subgraph(tiny_graph, np.array([0, 1]), 0)
+
+
+class TestIslandVertices:
+    def test_no_islands_with_single_part(self, planted_graph):
+        owner = np.zeros(planted_graph.num_vertices, dtype=np.int64)
+        assert island_fraction(planted_graph, owner) == 0.0
+
+    def test_bridge_vertex_becomes_island(self):
+        # A path 0-1-2 split so that vertex 1 is alone in its part.
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        owner = np.array([0, 1, 0])
+        islands = island_vertices(g, owner, 1)
+        assert islands.tolist() == [1]
+
+    def test_island_fraction_increases_with_parts(self, sparse_graph):
+        fractions = [
+            island_fraction(sparse_graph, round_robin_assignment(sparse_graph.num_vertices, p))
+            for p in (2, 8, 32)
+        ]
+        assert fractions[0] <= fractions[1] <= fractions[2]
+
+    def test_sparse_graphs_have_more_islands_than_dense(self, planted_graph, sparse_graph):
+        dense_frac = island_fraction(planted_graph, round_robin_assignment(planted_graph.num_vertices, 8))
+        sparse_frac = island_fraction(sparse_graph, round_robin_assignment(sparse_graph.num_vertices, 8))
+        assert sparse_frac > dense_frac
+
+    def test_island_count_matches_subgraph_degree_zero(self, sparse_graph):
+        owner = round_robin_assignment(sparse_graph.num_vertices, 4)
+        part = extract_subgraph(sparse_graph, owner, 0)
+        assert part.num_island_vertices == island_vertices(sparse_graph, owner, 0).shape[0]
+
+    def test_owner_shape_mismatch_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            island_vertices(tiny_graph, np.array([0]), 0)

@@ -1,0 +1,99 @@
+"""End-to-end tests for the sequential SBP driver."""
+
+import numpy as np
+import pytest
+
+from repro.blockmodel.blockmodel import Blockmodel
+from repro.core.config import MCMCVariant, SBPConfig
+from repro.core.results import SBPResult
+from repro.core.sbp import stochastic_block_partition
+from repro.graphs.graph import Graph
+
+
+class TestSequentialSBP:
+    def test_recovers_planted_partition(self, planted_graph, fast_config):
+        result = stochastic_block_partition(planted_graph, fast_config)
+        assert result.nmi() > 0.9
+        assert 3 <= result.num_communities <= 6
+        result.blockmodel.check_consistency()
+
+    def test_dl_not_worse_than_truth_by_much(self, planted_graph, fast_config):
+        result = stochastic_block_partition(planted_graph, fast_config)
+        truth_dl = Blockmodel.from_assignment(planted_graph, planted_graph.true_assignment, relabel=True).description_length()
+        assert result.description_length <= truth_dl * 1.02
+
+    def test_result_reproducible_with_seed(self, planted_graph):
+        config = SBPConfig.fast(seed=123).with_overrides(max_mcmc_iterations=6)
+        a = stochastic_block_partition(planted_graph, config)
+        b = stochastic_block_partition(planted_graph, config)
+        assert np.array_equal(a.assignment, b.assignment)
+        assert a.description_length == pytest.approx(b.description_length)
+
+    def test_history_and_timers_recorded(self, planted_graph, fast_config):
+        result = stochastic_block_partition(planted_graph, fast_config)
+        assert len(result.history) >= 1
+        assert result.history[0].num_blocks > result.history[-1].num_blocks or len(result.history) == 1
+        assert result.runtime_seconds > 0
+        assert "mcmc" in result.phase_seconds and "block_merge" in result.phase_seconds
+
+    def test_history_disabled(self, planted_graph, fast_config):
+        result = stochastic_block_partition(planted_graph, fast_config.with_overrides(track_history=False))
+        assert result.history == []
+
+    def test_metropolis_hastings_variant(self, planted_graph):
+        config = SBPConfig.fast(seed=5).with_overrides(
+            mcmc_variant=MCMCVariant.METROPOLIS_HASTINGS, max_mcmc_iterations=6
+        )
+        result = stochastic_block_partition(planted_graph, config)
+        assert result.nmi() > 0.85
+
+    def test_summary_contains_key_fields(self, planted_graph, fast_config):
+        result = stochastic_block_partition(planted_graph, fast_config)
+        summary = result.summary()
+        for key in ("algorithm", "num_communities", "description_length", "dl_norm", "nmi"):
+            assert key in summary
+
+    def test_validate_mode_runs(self, planted_graph):
+        config = SBPConfig.fast(seed=5).with_overrides(validate=True, max_mcmc_iterations=4)
+        result = stochastic_block_partition(planted_graph, config)
+        assert isinstance(result, SBPResult)
+
+    def test_fine_tuning_from_good_partition_keeps_it(self, planted_graph, fast_config):
+        initial = Blockmodel.from_assignment(planted_graph, planted_graph.true_assignment, relabel=True)
+        result = stochastic_block_partition(planted_graph, fast_config, initial_blockmodel=initial)
+        assert result.nmi() > 0.9
+        assert result.num_communities >= 3
+
+    def test_fine_tuning_from_oversplit_partition_merges_down(self, planted_graph, fast_config):
+        oversplit = planted_graph.true_assignment * 3 + np.arange(planted_graph.num_vertices) % 3
+        initial = Blockmodel.from_assignment(planted_graph, oversplit, relabel=True)
+        result = stochastic_block_partition(planted_graph, fast_config, initial_blockmodel=initial)
+        assert result.num_communities < initial.num_blocks
+        assert result.nmi() > 0.85
+
+    def test_initial_blockmodel_must_match_graph(self, planted_graph, tiny_graph, fast_config):
+        initial = Blockmodel.from_graph(tiny_graph)
+        with pytest.raises(ValueError):
+            stochastic_block_partition(planted_graph, fast_config, initial_blockmodel=initial)
+
+    def test_single_vertex_graph(self, fast_config):
+        g = Graph.from_edges(1, [(0, 0)])
+        result = stochastic_block_partition(g, fast_config)
+        assert result.num_communities == 1
+
+    def test_two_cliques_graph(self, tiny_graph, fast_config):
+        result = stochastic_block_partition(tiny_graph, fast_config)
+        assert result.num_communities <= 3
+        # The two triangles must not be split across more than two groups each.
+        assert result.nmi() >= 0.0
+
+    def test_nmi_requires_ground_truth(self, fast_config):
+        g = Graph.from_edges(8, [(i, (i + 1) % 8) for i in range(8)])
+        result = stochastic_block_partition(g, fast_config)
+        with pytest.raises(ValueError):
+            result.nmi()
+        assert result.dl_norm() > 0
+
+    def test_algorithm_label(self, planted_graph, fast_config):
+        result = stochastic_block_partition(planted_graph, fast_config, algorithm_label="custom")
+        assert result.algorithm == "custom"

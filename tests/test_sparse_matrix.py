@@ -1,0 +1,101 @@
+"""Tests for the sparse block matrix (vector-of-hashmaps + transpose)."""
+
+import numpy as np
+import pytest
+
+from repro.blockmodel.sparse_matrix import SparseBlockMatrix
+
+
+def test_empty_matrix():
+    m = SparseBlockMatrix(3)
+    assert m.get(0, 0) == 0
+    assert m.total() == 0
+    assert m.nnz() == 0
+
+
+def test_add_and_get():
+    m = SparseBlockMatrix(3)
+    m.add(0, 1, 5)
+    m.add(0, 1, 2)
+    assert m.get(0, 1) == 7
+    assert m.get(1, 0) == 0
+
+
+def test_add_keeps_transpose_in_sync():
+    m = SparseBlockMatrix(4)
+    m.add(2, 3, 4)
+    assert m.col(3) == {2: 4}
+    m.add(2, 3, -4)
+    assert m.col(3) == {}
+    m.check_consistent()
+
+
+def test_negative_entry_rejected():
+    m = SparseBlockMatrix(2)
+    m.add(0, 1, 1)
+    with pytest.raises(ValueError):
+        m.add(0, 1, -2)
+
+
+def test_set_and_remove():
+    m = SparseBlockMatrix(2)
+    m.set(0, 0, 3)
+    assert m.get(0, 0) == 3
+    m.set(0, 0, 0)
+    assert m.get(0, 0) == 0
+    assert m.nnz() == 0
+    with pytest.raises(ValueError):
+        m.set(0, 1, -1)
+
+
+def test_row_and_col_sums():
+    m = SparseBlockMatrix(3)
+    m.add(0, 1, 2)
+    m.add(0, 2, 3)
+    m.add(1, 2, 4)
+    assert m.row_sum(0) == 5
+    assert m.col_sum(2) == 7
+    assert m.row_sums().tolist() == [5, 4, 0]
+    assert m.col_sums().tolist() == [0, 2, 7]
+    assert m.total() == 9
+
+
+def test_entries_iteration():
+    m = SparseBlockMatrix(2)
+    m.add(0, 1, 1)
+    m.add(1, 1, 2)
+    assert sorted(m.entries()) == [(0, 1, 1), (1, 1, 2)]
+
+
+def test_dense_round_trip():
+    dense = np.array([[0, 3], [1, 0]])
+    m = SparseBlockMatrix.from_dense(dense)
+    assert np.array_equal(m.to_dense(), dense)
+    assert m == SparseBlockMatrix.from_dense(dense)
+
+
+def test_from_dense_rejects_non_square():
+    with pytest.raises(ValueError):
+        SparseBlockMatrix.from_dense(np.zeros((2, 3)))
+
+
+def test_copy_is_independent():
+    m = SparseBlockMatrix(2)
+    m.add(0, 1, 1)
+    c = m.copy()
+    c.add(0, 1, 5)
+    assert m.get(0, 1) == 1
+    assert c.get(0, 1) == 6
+
+
+def test_check_consistent_detects_corruption():
+    m = SparseBlockMatrix(2)
+    m.add(0, 1, 1)
+    m.rows[0][1] = 9  # corrupt the row view directly
+    with pytest.raises(AssertionError):
+        m.check_consistent()
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        SparseBlockMatrix(-1)
