@@ -1,0 +1,78 @@
+"""Microbenchmark: dict vs CSR blockmodel backend sweep throughput.
+
+Times the batch-Gibbs MCMC sweep (the hot path the CSR backend vectorizes)
+on a 1k-vertex DCSBM graph at several block counts and reports the sweep
+throughput of both backends.  The acceptance bar for the vectorized backend
+is a ≥3× speedup over the dict reference on this graph.
+"""
+
+import time
+
+import numpy as np
+from conftest import run_once
+
+from repro.blockmodel.blockmodel import Blockmodel
+from repro.core.config import SBPConfig
+from repro.core.hybrid_mcmc import batch_gibbs_sweep
+from repro.graphs.generators.degree import DegreeSequenceSpec
+from repro.graphs.generators.sbm import DCSBMSpec, generate_dcsbm_graph
+
+NUM_VERTICES = 1000
+BLOCK_COUNTS = (32, 128, 512)
+SWEEPS = 3
+
+
+def _sweep_seconds(graph, num_blocks: int, backend: str, config: SBPConfig) -> float:
+    """Best-of-3 seconds per batch-Gibbs sweep for one backend.
+
+    Min-of-repeats timing so transient machine load can't deflate the
+    measured speedup (the 3× assertion below gates the tier-1 run).
+    """
+    vertices = np.arange(graph.num_vertices)
+    best = float("inf")
+    for repeat in range(3):
+        blockmodel = Blockmodel.from_graph(graph, num_blocks=num_blocks, matrix_backend=backend)
+        rng = np.random.default_rng(123)
+        start = time.perf_counter()
+        for _ in range(SWEEPS):
+            batch_gibbs_sweep(blockmodel, vertices, config, rng)
+        best = min(best, (time.perf_counter() - start) / SWEEPS)
+    return best
+
+
+def run_backend_throughput():
+    spec = DCSBMSpec(
+        num_vertices=NUM_VERTICES,
+        num_communities=8,
+        degree_spec=DegreeSequenceSpec(exponent=3.0, min_degree=5, max_degree=40, duplicate=True),
+        intra_inter_ratio=3.0,
+        block_size_alpha=5.0,
+        name="backend-bench-1k",
+    )
+    graph = generate_dcsbm_graph(spec, seed=11)
+    config = SBPConfig(seed=0, mcmc_variant="batch_gibbs")
+    rows = []
+    for num_blocks in BLOCK_COUNTS:
+        dict_seconds = _sweep_seconds(graph, num_blocks, "dict", config)
+        csr_seconds = _sweep_seconds(graph, num_blocks, "csr", config)
+        rows.append(
+            {
+                "num_vertices": NUM_VERTICES,
+                "num_blocks": num_blocks,
+                "dict_ms_per_sweep": round(dict_seconds * 1000, 2),
+                "csr_ms_per_sweep": round(csr_seconds * 1000, 2),
+                "dict_sweeps_per_s": round(1.0 / dict_seconds, 2),
+                "csr_sweeps_per_s": round(1.0 / csr_seconds, 2),
+                "speedup": round(dict_seconds / csr_seconds, 2),
+            }
+        )
+    return rows
+
+
+def test_backend_throughput(benchmark, report):
+    rows = run_once(benchmark, run_backend_throughput)
+    report(rows, "backend_throughput", "CSR vs dict backend: batch-Gibbs sweep throughput (1k vertices)")
+    assert len(rows) == len(BLOCK_COUNTS)
+    best_speedup = max(r["speedup"] for r in rows)
+    # The vectorized backend must deliver ≥3× sweep throughput on this graph.
+    assert best_speedup >= 3.0, f"CSR backend speedup {best_speedup}x below the 3x bar"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: fast-fail lint, then the full test suite.
+#
+# Usage:  scripts/verify.sh [extra pytest args]
+#
+# This is the single command builders gate on (see ROADMAP.md).  The
+# compileall step catches syntax/import-level breakage in seconds before
+# the multi-minute pytest run starts; extra arguments are forwarded to
+# pytest (e.g. `scripts/verify.sh tests/` to skip the benchmark suite).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== lint: python -m compileall src =="
+python -m compileall -q src
+
+echo "== tests: python -m pytest -x -q =="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"

@@ -16,7 +16,8 @@ The pointer-based merge tracking (optimisation (d)) lives in
 """
 
 from repro.blockmodel.sparse_matrix import SparseBlockMatrix
-from repro.blockmodel.blockmodel import Blockmodel, VertexBlockCounts
+from repro.blockmodel.csr_matrix import CSRBlockMatrix, MAX_DENSE_BLOCKS
+from repro.blockmodel.blockmodel import Blockmodel, VertexBlockCounts, MATRIX_BACKENDS
 from repro.blockmodel.entropy import (
     blockmodel_entropy_term,
     description_length,
@@ -28,11 +29,16 @@ from repro.blockmodel.entropy import (
 from repro.blockmodel.deltas import (
     delta_dl_for_merge,
     delta_dl_for_move,
+    delta_dl_for_moves,
+    BatchMoveEvaluation,
     MoveDelta,
 )
 
 __all__ = [
     "SparseBlockMatrix",
+    "CSRBlockMatrix",
+    "MAX_DENSE_BLOCKS",
+    "MATRIX_BACKENDS",
     "Blockmodel",
     "VertexBlockCounts",
     "log_likelihood",
@@ -42,6 +48,8 @@ __all__ = [
     "model_complexity_term",
     "blockmodel_entropy_term",
     "delta_dl_for_move",
+    "delta_dl_for_moves",
     "delta_dl_for_merge",
+    "BatchMoveEvaluation",
     "MoveDelta",
 ]

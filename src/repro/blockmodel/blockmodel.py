@@ -21,11 +21,18 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.blockmodel.csr_matrix import CSRBlockMatrix
 from repro.blockmodel.sparse_matrix import SparseBlockMatrix
 from repro.blockmodel import entropy as entropy_mod
 from repro.graphs.graph import Graph
 
-__all__ = ["VertexBlockCounts", "Blockmodel"]
+__all__ = ["VertexBlockCounts", "Blockmodel", "MATRIX_BACKENDS"]
+
+#: Storage backends selectable via ``SBPConfig.matrix_backend`` /
+#: ``Blockmodel.from_graph(..., matrix_backend=...)``.  ``"dict"`` is the
+#: hash-map reference implementation; ``"csr"`` is the dense numpy backend
+#: that enables the vectorized MCMC kernels.
+MATRIX_BACKENDS = ("dict", "csr")
 
 
 @dataclass
@@ -86,19 +93,26 @@ class Blockmodel:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
-    def from_graph(cls, graph: Graph, num_blocks: Optional[int] = None) -> "Blockmodel":
+    def from_graph(
+        cls,
+        graph: Graph,
+        num_blocks: Optional[int] = None,
+        matrix_backend: str = "dict",
+    ) -> "Blockmodel":
         """Initial blockmodel: every vertex in its own block (the SBP start).
 
         Passing ``num_blocks`` smaller than ``graph.num_vertices`` assigns
         vertices round-robin to that many blocks instead (useful for tests
         and for building models at a prescribed granularity).
+        ``matrix_backend`` selects the block matrix storage (see
+        :data:`MATRIX_BACKENDS`); rebuilds triggered by merges preserve it.
         """
         if num_blocks is None or num_blocks >= graph.num_vertices:
             assignment = np.arange(graph.num_vertices, dtype=np.int64)
             num_blocks = graph.num_vertices
         else:
             assignment = np.arange(graph.num_vertices, dtype=np.int64) % num_blocks
-        return cls.from_assignment(graph, assignment, num_blocks)
+        return cls.from_assignment(graph, assignment, num_blocks, matrix_backend=matrix_backend)
 
     @classmethod
     def from_assignment(
@@ -107,6 +121,7 @@ class Blockmodel:
         assignment: Sequence[int] | np.ndarray,
         num_blocks: Optional[int] = None,
         relabel: bool = False,
+        matrix_backend: str = "dict",
     ) -> "Blockmodel":
         """Build the block matrix and degrees for a given assignment.
 
@@ -116,7 +131,13 @@ class Blockmodel:
             If ``True``, block labels are first compacted to ``0..B-1``
             preserving order of first appearance by label value (i.e. the
             sorted unique labels are mapped to consecutive integers).
+        matrix_backend:
+            Block matrix storage: ``"dict"`` (hash maps, the reference) or
+            ``"csr"`` (dense numpy arrays with cached marginals, the
+            vectorized backend).
         """
+        if matrix_backend not in MATRIX_BACKENDS:
+            raise ValueError(f"unknown matrix_backend {matrix_backend!r}; expected one of {MATRIX_BACKENDS}")
         assignment = np.asarray(assignment, dtype=np.int64).copy()
         if assignment.shape != (graph.num_vertices,):
             raise ValueError("assignment must label every vertex")
@@ -128,12 +149,15 @@ class Blockmodel:
         if assignment.size and (assignment.min() < 0 or assignment.max() >= num_blocks):
             raise ValueError("assignment labels must lie in [0, num_blocks)")
 
-        matrix = SparseBlockMatrix(num_blocks)
         src, dst, w = graph.edge_arrays()
         bsrc = assignment[src]
         bdst = assignment[dst]
-        for i, j, weight in zip(bsrc.tolist(), bdst.tolist(), w.tolist()):
-            matrix.add(i, j, weight)
+        if matrix_backend == "csr":
+            matrix = CSRBlockMatrix.from_block_edges(num_blocks, bsrc, bdst, w)
+        else:
+            matrix = SparseBlockMatrix(num_blocks)
+            for i, j, weight in zip(bsrc.tolist(), bdst.tolist(), w.tolist()):
+                matrix.add(i, j, weight)
 
         block_out = np.zeros(num_blocks, dtype=np.int64)
         block_in = np.zeros(num_blocks, dtype=np.int64)
@@ -142,6 +166,22 @@ class Blockmodel:
             np.add.at(block_in, bdst, w)
         sizes = np.bincount(assignment, minlength=num_blocks).astype(np.int64)
         return cls(graph, assignment, num_blocks, matrix, block_out, block_in, sizes)
+
+    def refresh_derived_state(self) -> None:
+        """Recompute matrix, block degrees and sizes from the assignment.
+
+        Used by the vectorized sweep path after editing ``assignment``
+        directly: the derived state is a pure function of the assignment, so
+        one vectorized rebuild replaces many per-move incremental updates.
+        The storage backend is preserved.
+        """
+        rebuilt = Blockmodel.from_assignment(
+            self.graph, self.assignment, self.num_blocks, matrix_backend=self.matrix_backend
+        )
+        self.matrix = rebuilt.matrix
+        self.block_out_degrees = rebuilt.block_out_degrees
+        self.block_in_degrees = rebuilt.block_in_degrees
+        self.block_sizes = rebuilt.block_sizes
 
     def copy(self) -> "Blockmodel":
         """Deep copy (graph is shared; all mutable state is duplicated)."""
@@ -169,6 +209,11 @@ class Blockmodel:
     @property
     def block_total_degrees(self) -> np.ndarray:
         return self.block_out_degrees + self.block_in_degrees
+
+    @property
+    def matrix_backend(self) -> str:
+        """Name of the block matrix storage backend (``"dict"`` or ``"csr"``)."""
+        return getattr(self.matrix, "backend", "dict")
 
     def block_of(self, v: int) -> int:
         return int(self.assignment[v])
@@ -232,15 +277,39 @@ class Blockmodel:
             counts = self.vertex_block_counts(v)
 
         matrix = self.matrix
-        for b, w in counts.out_counts.items():
-            matrix.add(from_block, b, -w)
-            matrix.add(to_block, b, w)
-        for b, w in counts.in_counts.items():
-            matrix.add(b, from_block, -w)
-            matrix.add(b, to_block, w)
-        if counts.self_loop:
-            matrix.add(from_block, from_block, -counts.self_loop)
-            matrix.add(to_block, to_block, counts.self_loop)
+        if hasattr(matrix, "add_many"):
+            # Batched scatter-add: one numpy call instead of 2×(deg) scalar adds.
+            rows: list = []
+            cols: list = []
+            deltas: list = []
+            for b, w in counts.out_counts.items():
+                rows += (from_block, to_block)
+                cols += (b, b)
+                deltas += (-w, w)
+            for b, w in counts.in_counts.items():
+                rows += (b, b)
+                cols += (from_block, to_block)
+                deltas += (-w, w)
+            if counts.self_loop:
+                rows += (from_block, to_block)
+                cols += (from_block, to_block)
+                deltas += (-counts.self_loop, counts.self_loop)
+            if rows:
+                matrix.add_many(
+                    np.asarray(rows, dtype=np.int64),
+                    np.asarray(cols, dtype=np.int64),
+                    np.asarray(deltas, dtype=np.int64),
+                )
+        else:
+            for b, w in counts.out_counts.items():
+                matrix.add(from_block, b, -w)
+                matrix.add(to_block, b, w)
+            for b, w in counts.in_counts.items():
+                matrix.add(b, from_block, -w)
+                matrix.add(b, to_block, w)
+            if counts.self_loop:
+                matrix.add(from_block, from_block, -counts.self_loop)
+                matrix.add(to_block, to_block, counts.self_loop)
 
         out_total = counts.out_total
         in_total = counts.in_total
@@ -267,7 +336,9 @@ class Blockmodel:
             raise ValueError("merge_target must have one entry per block")
         resolved = resolve_merge_chain(merge_target)
         new_assignment = resolved[self.assignment]
-        return Blockmodel.from_assignment(self.graph, new_assignment, relabel=True)
+        return Blockmodel.from_assignment(
+            self.graph, new_assignment, relabel=True, matrix_backend=self.matrix_backend
+        )
 
     # ------------------------------------------------------------------
     # Sampling helpers used by the MCMC proposal distribution
@@ -276,25 +347,37 @@ class Blockmodel:
         """Sample a block adjacent to ``block`` ∝ its edge multiplicities.
 
         Considers both out-edges (row) and in-edges (column) of ``block``.
-        Returns ``-1`` if ``block`` has no incident edges.
+        Returns ``-1`` if ``block`` has no incident edges.  Entries are
+        scanned in ascending block order for both storage backends, so a
+        given RNG draw selects the same block regardless of backend.
         """
-        row = self.matrix.row(block)
-        col = self.matrix.col(block)
-        total = self.block_out_degrees[block] + self.block_in_degrees[block]
+        total = int(self.block_out_degrees[block]) + int(self.block_in_degrees[block])
         if total <= 0:
             return -1
-        target = rng.integers(0, total)
+        target = int(rng.integers(0, total))
+        matrix = self.matrix
+        if hasattr(matrix, "row_array"):
+            # Dense backend: cumulative-sum search over the row, then (for
+            # draws beyond the row total) over the column.
+            row_total = matrix.row_sum(block)
+            if target < row_total:
+                cum = np.cumsum(matrix.row_array(block))
+                return int(np.searchsorted(cum, target, side="right"))
+            cum = np.cumsum(matrix.col_array(block))
+            return int(np.searchsorted(cum, target - row_total, side="right"))
+        row = matrix.row(block)
+        col = matrix.col(block)
         acc = 0
-        for j, w in row.items():
-            acc += w
+        for j in sorted(row):
+            acc += row[j]
             if target < acc:
                 return int(j)
-        for i, w in col.items():
-            acc += w
+        for i in sorted(col):
+            acc += col[i]
             if target < acc:
                 return int(i)
         # Numerical safety: should not happen because degrees equal the sums.
-        return int(next(iter(row)) if row else next(iter(col)))
+        return int(min(row) if row else min(col))
 
     # ------------------------------------------------------------------
     # Validation

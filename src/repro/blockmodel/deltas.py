@@ -28,7 +28,13 @@ import numpy as np
 from repro.blockmodel.blockmodel import Blockmodel, VertexBlockCounts
 from repro.blockmodel.entropy import model_complexity_term
 
-__all__ = ["MoveDelta", "delta_dl_for_move", "delta_dl_for_merge"]
+__all__ = [
+    "MoveDelta",
+    "BatchMoveEvaluation",
+    "delta_dl_for_move",
+    "delta_dl_for_moves",
+    "delta_dl_for_merge",
+]
 
 
 @dataclass
@@ -79,20 +85,25 @@ def _region_likelihood(
     """
     total = 0.0
     row_ids = set(rows.keys())
+    # Entries are accumulated in ascending index order so that both storage
+    # backends (insertion-ordered dicts vs. sorted array snapshots) produce
+    # bit-identical sums.
     for i, row in rows.items():
         douti = d_out[i]
         if douti <= 0:
             continue
-        for j, val in row.items():
+        for j in sorted(row):
+            val = row[j]
             if val > 0:
                 total += val * math.log(val / (douti * d_in[j]))
     for j, col in cols.items():
         dinj = d_in[j]
         if dinj <= 0:
             continue
-        for i, val in col.items():
+        for i in sorted(col):
             if i in row_ids:
                 continue
+            val = col[i]
             if val > 0:
                 total += val * math.log(val / (d_out[i] * dinj))
     return total
@@ -243,11 +254,20 @@ def delta_dl_for_move(
     delta_likelihood = 0.0
 
     # ------------------------------------------------------------------
-    # 1. Entries with changed values (plus the corners).
+    # 1. Entries with changed values (plus the corners).  The old values of
+    #    the changed entries are also accumulated per affected row/column so
+    #    that steps 2-3 can use the cached marginals instead of scanning the
+    #    rows (``unchanged = row_sum − changed``, all exact integers).
     # ------------------------------------------------------------------
+    changed_row = {r: 0, s: 0}
+    changed_col = {r: 0, s: 0}
     for (i, j), d in entry_delta.items():
         old_val = matrix.get(i, j)
         new_val = old_val + d
+        if i in changed_row:
+            changed_row[i] += old_val
+        if j in changed_col:
+            changed_col[j] += old_val
         if old_val > 0:
             doi = old_dout.get(i, 0) if i in old_dout else int(d_out[i])
             dij = old_din.get(j, 0) if j in old_din else int(d_in[j])
@@ -260,13 +280,10 @@ def delta_dl_for_move(
     # ------------------------------------------------------------------
     # 2. Row r and row s entries whose values are unchanged: only the row's
     #    out-degree moved, contributing  -sum(M) * log(new_dout / old_dout).
+    #    The row sum equals the block's out-degree, so no row scan is needed.
     # ------------------------------------------------------------------
     for row_block in (r, s):
-        row = matrix.row(row_block)
-        unchanged_sum = 0
-        for j, val in row.items():
-            if (row_block, j) not in entry_delta:
-                unchanged_sum += val
+        unchanged_sum = old_dout[row_block] - changed_row[row_block]
         if unchanged_sum and new_dout[row_block] > 0 and old_dout[row_block] > 0:
             delta_likelihood -= unchanged_sum * log(new_dout[row_block] / old_dout[row_block])
 
@@ -274,16 +291,251 @@ def delta_dl_for_move(
     # 3. Column r and column s entries whose values are unchanged.
     # ------------------------------------------------------------------
     for col_block in (r, s):
-        col = matrix.col(col_block)
-        unchanged_sum = 0
-        for i, val in col.items():
-            if (i, col_block) not in entry_delta:
-                unchanged_sum += val
+        unchanged_sum = old_din[col_block] - changed_col[col_block]
         if unchanged_sum and new_din[col_block] > 0 and old_din[col_block] > 0:
             delta_likelihood -= unchanged_sum * log(new_din[col_block] / old_din[col_block])
 
     # DL contains −L, so ΔDL = −ΔL.
     return MoveDelta(vertex, from_block, to_block, -delta_likelihood, counts)
+
+
+@dataclass
+class BatchMoveEvaluation:
+    """ΔDL of a batch of vertex moves, plus the flattened move context.
+
+    Produced by :func:`delta_dl_for_moves`.  Beyond the per-move ``delta_dl``
+    it carries the flattened sparse matrix delta and the combined
+    neighbour-block counts of every move, which
+    :func:`repro.core.proposals.hastings_corrections` reuses to evaluate the
+    reverse proposals without touching the graph again.
+    """
+
+    #: Per-move arrays, all of shape ``(m,)``.
+    vertices: np.ndarray
+    from_blocks: np.ndarray
+    to_blocks: np.ndarray
+    delta_dl: np.ndarray
+    out_totals: np.ndarray
+    in_totals: np.ndarray
+
+    #: Flattened combined neighbour-block counts: entry ``k`` says that move
+    #: ``nbr_move[k]``'s vertex has ``nbr_weight[k]`` edges (in+out) to block
+    #: ``nbr_block[k]``.  Self-loops are excluded, mirroring
+    #: ``VertexBlockCounts``.
+    nbr_move: np.ndarray
+    nbr_block: np.ndarray
+    nbr_weight: np.ndarray
+
+    #: Flattened sparse matrix delta, deduplicated and sorted by
+    #: ``move · B² + i · B + j`` (see :meth:`entry_key_of`).
+    entry_keys: np.ndarray
+    entry_deltas: np.ndarray
+
+    #: Number of blocks at evaluation time (the key stride).
+    num_blocks: int
+
+    def entry_key_of(self, move: np.ndarray, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Flat key of entry ``(i, j)`` of the given move's matrix delta."""
+        stride = np.int64(self.num_blocks) * np.int64(self.num_blocks)
+        return move.astype(np.int64) * stride + i.astype(np.int64) * np.int64(self.num_blocks) + j
+
+    def entry_delta_at(self, move: np.ndarray, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Delta of entry ``(i, j)`` per move (0 where the move leaves it)."""
+        keys = self.entry_key_of(move, i, j)
+        pos = np.searchsorted(self.entry_keys, keys)
+        pos_clipped = np.minimum(pos, len(self.entry_keys) - 1)
+        found = self.entry_keys[pos_clipped] == keys
+        return np.where(found, self.entry_deltas[pos_clipped], 0)
+
+
+def _concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Indices of the concatenation of ``[starts[k], starts[k]+lengths[k])``."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    offsets = np.repeat(starts - np.concatenate([[0], ends[:-1]]), lengths)
+    return np.arange(total, dtype=np.int64) + offsets
+
+
+def _batch_neighbor_counts(graph, assignment: np.ndarray, vertices: np.ndarray, direction: str):
+    """Flattened per-move neighbour-block counts for one edge direction.
+
+    Returns ``(move, block, weight, totals, self_loops)`` where the first
+    three arrays list, for every move, the aggregated edge weight from/to
+    each neighbouring block (self-loops excluded, like
+    ``Blockmodel.vertex_block_counts``), ``totals`` is the per-move total
+    including self-loops (``out_total`` / ``in_total``) and ``self_loops``
+    the per-move self-loop weight.
+    """
+    indptr, indices, data = graph.out_adjacency() if direction == "out" else graph.in_adjacency()
+    m = vertices.shape[0]
+    starts = indptr[vertices]
+    lengths = indptr[vertices + 1] - starts
+    flat = _concat_ranges(starts, lengths)
+    move = np.repeat(np.arange(m, dtype=np.int64), lengths)
+    nbr = indices[flat]
+    w = data[flat]
+
+    self_mask = nbr == vertices[move]
+    self_loops = np.bincount(move[self_mask], weights=w[self_mask], minlength=m).astype(np.int64)
+    move, nbr, w = move[~self_mask], nbr[~self_mask], w[~self_mask]
+    blocks = assignment[nbr]
+
+    num_blocks = np.int64(int(assignment.max(initial=0)) + 1)
+    keys = move * num_blocks + blocks
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    weights = np.bincount(inverse, weights=w, minlength=unique_keys.shape[0]).astype(np.int64)
+    agg_move = unique_keys // num_blocks
+    agg_block = unique_keys % num_blocks
+
+    totals = np.bincount(move, weights=w, minlength=m).astype(np.int64) + self_loops
+    return agg_move, agg_block, weights, totals, self_loops
+
+
+def delta_dl_for_moves(
+    blockmodel: Blockmodel,
+    vertices: np.ndarray,
+    to_blocks: np.ndarray,
+) -> BatchMoveEvaluation:
+    """Batched ΔDL of many vertex moves, evaluated against the current state.
+
+    Vectorized counterpart of :func:`delta_dl_for_move` (same aggregated
+    formulation, same sign convention): all candidate moves are scored with
+    whole-batch numpy operations instead of per-move Python loops.  Every
+    move is evaluated against the *same* (current) blockmodel state, which
+    is exactly the staleness semantics of the asynchronous Gibbs batches in
+    :mod:`repro.core.hybrid_mcmc`.
+
+    Requires a backend with batched access (``get_many``), i.e. the CSR
+    backend; moves proposing ``to_block == from_block`` get ``ΔDL = 0``.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    to_blocks = np.asarray(to_blocks, dtype=np.int64)
+    if vertices.shape != to_blocks.shape:
+        raise ValueError("vertices and to_blocks must have the same shape")
+    matrix = blockmodel.matrix
+    if not hasattr(matrix, "get_many"):
+        raise TypeError(
+            "delta_dl_for_moves requires a batched matrix backend "
+            "(SBPConfig(matrix_backend='csr'))"
+        )
+    m = vertices.shape[0]
+    num_blocks = blockmodel.num_blocks
+    assignment = blockmodel.assignment
+    r = assignment[vertices]
+    s = to_blocks
+    graph = blockmodel.graph
+
+    out_move, out_block, out_w, out_totals, self_loops = _batch_neighbor_counts(
+        graph, assignment, vertices, "out"
+    )
+    in_move, in_block, in_w, in_totals, _ = _batch_neighbor_counts(
+        graph, assignment, vertices, "in"
+    )
+
+    # ------------------------------------------------------------------
+    # Flattened sparse matrix delta: for each move the same bumps the scalar
+    # kernel makes, keyed by  move·B² + i·B + j  and deduplicated.  The four
+    # {r,s}×{r,s} corners are always included (with +0) so that the degree
+    # change is accounted for on them even when no edge touches them.
+    # ------------------------------------------------------------------
+    i_parts = [r[out_move], s[out_move], in_block, in_block, r, s, r, r, s, s]
+    j_parts = [out_block, out_block, r[in_move], s[in_move], r, s, r, s, r, s]
+    d_parts = [
+        -out_w,
+        out_w,
+        -in_w,
+        in_w,
+        -self_loops,
+        self_loops,
+        np.zeros(m, dtype=np.int64),
+        np.zeros(m, dtype=np.int64),
+        np.zeros(m, dtype=np.int64),
+        np.zeros(m, dtype=np.int64),
+    ]
+    move_parts = [out_move, out_move, in_move, in_move] + [np.arange(m, dtype=np.int64)] * 6
+    entry_i = np.concatenate(i_parts)
+    entry_j = np.concatenate(j_parts)
+    entry_d = np.concatenate(d_parts)
+    entry_move = np.concatenate(move_parts)
+
+    stride = np.int64(num_blocks) * np.int64(num_blocks)
+    keys = entry_move * stride + entry_i * np.int64(num_blocks) + entry_j
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    deltas = np.bincount(inverse, weights=entry_d, minlength=unique_keys.shape[0]).astype(np.int64)
+
+    mid = unique_keys // stride
+    rem = unique_keys % stride
+    i_u = rem // num_blocks
+    j_u = rem % num_blocks
+
+    old = matrix.get_many(i_u, j_u)
+    new = old + deltas
+
+    d_out = blockmodel.block_out_degrees
+    d_in = blockmodel.block_in_degrees
+    r_u = r[mid]
+    s_u = s[mid]
+    same = r == s  # degenerate moves contribute ΔDL = 0 (masked at the end)
+
+    doi_old = d_out[i_u].astype(np.float64)
+    dij_old = d_in[j_u].astype(np.float64)
+    shift_out = out_totals[mid]
+    shift_in = in_totals[mid]
+    doi_new = doi_old + np.where(i_u == s_u, shift_out, 0) - np.where(i_u == r_u, shift_out, 0)
+    dij_new = dij_old + np.where(j_u == s_u, shift_in, 0) - np.where(j_u == r_u, shift_in, 0)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        term_old = np.where(old > 0, old * np.log(old / (doi_old * dij_old)), 0.0)
+        term_new = np.where(new > 0, new * np.log(new / (doi_new * dij_new)), 0.0)
+    delta_likelihood = np.bincount(mid, weights=term_new - term_old, minlength=m)
+
+    # ------------------------------------------------------------------
+    # Unchanged entries of the affected rows/columns: only their row/column
+    # degree moved.  unchanged = marginal − Σ(old values of changed entries).
+    # ------------------------------------------------------------------
+    def _unchanged_term(axis_u, block_r, block_s, degrees, shifts):
+        mask_r = axis_u == block_r[mid]
+        mask_s = axis_u == block_s[mid]
+        changed_r = np.bincount(mid[mask_r], weights=old[mask_r], minlength=m)
+        changed_s = np.bincount(mid[mask_s], weights=old[mask_s], minlength=m)
+        total = np.zeros(m, dtype=np.float64)
+        for block, changed, sign in ((block_r, changed_r, -1), (block_s, changed_s, 1)):
+            old_deg = degrees[block].astype(np.float64)
+            new_deg = old_deg + sign * shifts
+            unchanged = old_deg - changed
+            ok = (unchanged > 0) & (new_deg > 0) & (old_deg > 0)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                total -= np.where(ok, unchanged * np.log(np.where(ok, new_deg / np.where(old_deg > 0, old_deg, 1.0), 1.0)), 0.0)
+        return total
+
+    delta_likelihood += _unchanged_term(i_u, r, s, d_out, out_totals)
+    delta_likelihood += _unchanged_term(j_u, r, s, d_in, in_totals)
+
+    delta_dl = np.where(same, 0.0, -delta_likelihood)
+
+    # Combined (in+out) neighbour-block counts for the Hastings correction.
+    ckeys = np.concatenate([out_move * np.int64(num_blocks) + out_block,
+                            in_move * np.int64(num_blocks) + in_block])
+    cw = np.concatenate([out_w, in_w])
+    c_unique, c_inverse = np.unique(ckeys, return_inverse=True)
+    c_weights = np.bincount(c_inverse, weights=cw, minlength=c_unique.shape[0]).astype(np.int64)
+
+    return BatchMoveEvaluation(
+        vertices=vertices,
+        from_blocks=r,
+        to_blocks=s,
+        delta_dl=delta_dl,
+        out_totals=out_totals,
+        in_totals=in_totals,
+        nbr_move=c_unique // num_blocks,
+        nbr_block=c_unique % num_blocks,
+        nbr_weight=c_weights,
+        entry_keys=unique_keys,
+        entry_deltas=deltas,
+        num_blocks=num_blocks,
+    )
 
 
 def delta_dl_for_merge(

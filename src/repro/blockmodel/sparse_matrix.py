@@ -23,6 +23,10 @@ __all__ = ["SparseBlockMatrix"]
 class SparseBlockMatrix:
     """A square sparse integer matrix with row and column hash-map views."""
 
+    #: Name under which :class:`~repro.core.config.SBPConfig.matrix_backend`
+    #: selects this storage class (the reference implementation).
+    backend = "dict"
+
     __slots__ = ("num_blocks", "rows", "cols")
 
     def __init__(self, num_blocks: int) -> None:
@@ -105,6 +109,26 @@ class SparseBlockMatrix:
             for j, val in row.items():
                 yield i, j, val
 
+    def nonzero_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(i, j, value)`` arrays over the non-zero entries, row-major.
+
+        Same contract as :meth:`CSRBlockMatrix.nonzero_arrays`, including
+        ascending column order within each row — the two backends must emit
+        identically-ordered arrays so that vectorized float reductions over
+        them (e.g. the log-likelihood) stay bit-identical across backends.
+        """
+        count = self.nnz()
+        i_arr = np.fromiter(
+            (i for i, row in enumerate(self.rows) for _ in row), dtype=np.int64, count=count
+        )
+        j_arr = np.fromiter(
+            (j for row in self.rows for j in sorted(row)), dtype=np.int64, count=count
+        )
+        v_arr = np.fromiter(
+            (row[j] for row in self.rows for j in sorted(row)), dtype=np.int64, count=count
+        )
+        return i_arr, j_arr, v_arr
+
     def copy(self) -> "SparseBlockMatrix":
         out = SparseBlockMatrix(self.num_blocks)
         out.rows = [dict(r) for r in self.rows]
@@ -139,9 +163,14 @@ class SparseBlockMatrix:
                     raise AssertionError(f"row mismatch at ({i}, {j})")
 
     def __eq__(self, other: object) -> bool:
-        if not isinstance(other, SparseBlockMatrix):
-            return NotImplemented
-        return self.num_blocks == other.num_blocks and self.rows == other.rows
+        if isinstance(other, SparseBlockMatrix):
+            return self.num_blocks == other.num_blocks and self.rows == other.rows
+        if hasattr(other, "to_dense") and hasattr(other, "num_blocks"):
+            # Cross-backend comparison (e.g. against a CSRBlockMatrix).
+            return self.num_blocks == other.num_blocks and np.array_equal(
+                self.to_dense(), other.to_dense()
+            )
+        return NotImplemented
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SparseBlockMatrix(B={self.num_blocks}, nnz={self.nnz()})"

@@ -11,7 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["SBPConfig", "MCMCVariant"]
+from repro.blockmodel.blockmodel import MATRIX_BACKENDS
+
+__all__ = ["SBPConfig", "MCMCVariant", "MatrixBackend"]
 
 
 class MCMCVariant:
@@ -22,6 +24,21 @@ class MCMCVariant:
     BATCH_GIBBS = "batch_gibbs"
 
     ALL = (METROPOLIS_HASTINGS, HYBRID, BATCH_GIBBS)
+
+
+class MatrixBackend:
+    """Names of the blockmodel storage backends (see :mod:`repro.blockmodel`)."""
+
+    #: Hash-map rows + transpose — the reference implementation, O(nnz)
+    #: memory, works at any graph size.
+    DICT = "dict"
+    #: Dense numpy array with cached marginals — enables the vectorized
+    #: batch-Gibbs kernels; memory is O(B²).
+    CSR = "csr"
+
+    #: Single source of truth: the storage layer's registry, so config
+    #: validation can never drift from what ``Blockmodel`` accepts.
+    ALL = MATRIX_BACKENDS
 
 
 @dataclass(frozen=True)
@@ -55,6 +72,13 @@ class SBPConfig:
         ``"batch_gibbs"`` (every vertex evaluated against a stale state, the
         original Graph Challenge python parallelism — used by the reference
         DC-SBP implementation of Table VI).
+    matrix_backend:
+        Blockmodel storage: ``"dict"`` (hash-map rows + transpose, the
+        reference implementation) or ``"csr"`` (dense numpy arrays with
+        cached marginals).  With ``"csr"``, the asynchronous Gibbs batches
+        of the hybrid/batch variants are scored with vectorized whole-batch
+        kernels instead of per-candidate Python calls; memory is O(B²), so
+        prefer ``"dict"`` beyond a few tens of thousands of vertices.
     hybrid_high_degree_fraction:
         Fraction of vertices (by descending degree) processed sequentially
         by the hybrid MCMC.
@@ -83,6 +107,7 @@ class SBPConfig:
     mcmc_convergence_threshold: float = 1e-4
     min_blocks: int = 1
     mcmc_variant: str = MCMCVariant.HYBRID
+    matrix_backend: str = MatrixBackend.DICT
     hybrid_high_degree_fraction: float = 0.25
     hybrid_batch_size: int = 64
     dcsbp_combine_threshold: int = 4
@@ -104,6 +129,10 @@ class SBPConfig:
             raise ValueError("min_blocks must be at least 1")
         if self.mcmc_variant not in MCMCVariant.ALL:
             raise ValueError(f"unknown mcmc_variant {self.mcmc_variant!r}")
+        if self.matrix_backend not in MatrixBackend.ALL:
+            raise ValueError(
+                f"unknown matrix_backend {self.matrix_backend!r}; expected one of {MatrixBackend.ALL}"
+            )
         if not 0.0 <= self.hybrid_high_degree_fraction <= 1.0:
             raise ValueError("hybrid_high_degree_fraction must lie in [0, 1]")
         if self.hybrid_batch_size < 1:

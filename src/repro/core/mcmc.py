@@ -117,21 +117,40 @@ def mcmc_phase(
     if sweep_fn is None:
         sweep_fn = make_sweep_fn(config)
 
-    current_dl = blockmodel.description_length()
     sweep_results: List[SweepResult] = []
     total_accepted = 0
+    # Alg. 2 line 12 stops when a sweep's |ΔDL| < t × DL.  The DL on the
+    # right-hand side must be the exact current value: on the asynchronous
+    # variants the summed per-move deltas drift (each delta is exact only
+    # for the stale state it was evaluated on), making the phase terminate
+    # early or late off stale state.  Recomputing the exact DL every sweep
+    # would add O(nnz) serial work to every sweep of every rank, so the
+    # accumulated DL is used only as a cheap screen: termination is always
+    # *confirmed* against a fresh exact recomputation (which also resyncs
+    # the accumulator, bounding the drift).  The strictly sequential MH
+    # sweep evaluates every delta against fresh state, so its accumulated
+    # DL needs no confirmation.
+    deltas_are_exact = (
+        config.mcmc_variant == MCMCVariant.METROPOLIS_HASTINGS
+        and sweep_fn is metropolis_hastings_sweep
+    )
+    current_dl = blockmodel.description_length()
+    exact_dl: Optional[float] = None
     for _ in range(config.max_mcmc_iterations):
         sweep = sweep_fn(blockmodel, vertices, config, rng)
         sweep_results.append(sweep)
         total_accepted += sweep.accepted_moves
         current_dl += sweep.delta_dl
-        # Alg. 2 line 12: stop when the sweep's |ΔDL| < t × DL.
+        exact_dl = None
         if abs(sweep.delta_dl) < config.mcmc_convergence_threshold * abs(current_dl):
-            break
-    # The accumulated DL can drift slightly from the true value (each delta
-    # is exact for the state it was evaluated on, but asynchronous variants
-    # evaluate against stale state); finish with an exact recomputation.
-    final_dl = blockmodel.description_length()
+            if deltas_are_exact:
+                break
+            exact_dl = blockmodel.description_length()
+            current_dl = exact_dl
+            if abs(sweep.delta_dl) < config.mcmc_convergence_threshold * abs(exact_dl):
+                break
+    # Report an exact DL regardless of how convergence was tracked.
+    final_dl = exact_dl if exact_dl is not None else blockmodel.description_length()
     return MCMCPhaseResult(
         blockmodel=blockmodel,
         description_length=final_dl,

@@ -60,7 +60,7 @@ def _propose_merge_target(
     t = blockmodel.sample_neighbor_block(block, rng)
     if t < 0:
         return random_other()
-    d_t = int(blockmodel.block_total_degrees[t])
+    d_t = int(blockmodel.block_out_degrees[t]) + int(blockmodel.block_in_degrees[t])
     if rng.random() < num_blocks / (d_t + num_blocks):
         return random_other()
     s = blockmodel.sample_neighbor_block(t, rng)

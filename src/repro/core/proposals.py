@@ -30,9 +30,17 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.blockmodel.blockmodel import Blockmodel, VertexBlockCounts
-from repro.blockmodel.deltas import MoveDelta, delta_dl_for_move
+from repro.blockmodel.deltas import BatchMoveEvaluation, MoveDelta, delta_dl_for_move
 
-__all__ = ["ProposalEvaluation", "propose_block_for_vertex", "hastings_correction", "evaluate_vertex_move"]
+__all__ = [
+    "ProposalEvaluation",
+    "propose_block_for_vertex",
+    "hastings_correction",
+    "hastings_corrections",
+    "evaluate_vertex_move",
+    "acceptance_probability",
+    "acceptance_probabilities",
+]
 
 
 @dataclass
@@ -70,16 +78,17 @@ def propose_block_for_vertex(
         return int(rng.integers(num_blocks))
     weights = graph.neighbor_weights(vertex)
     total = int(weights.sum())
+    if total <= 0:
+        # All incident edges have zero weight (possible on degenerate or
+        # synthetically corrupted inputs): fall back to the uniform proposal
+        # rather than asking the RNG for an integer below 0.
+        return int(rng.integers(num_blocks))
     pick = int(rng.integers(total))
-    acc = 0
-    u = int(neighbors[-1])
-    for nbr, w in zip(neighbors.tolist(), weights.tolist()):
-        acc += w
-        if pick < acc:
-            u = int(nbr)
-            break
+    u = int(neighbors[np.searchsorted(np.cumsum(weights), pick, side="right")])
     t = int(blockmodel.assignment[u])
-    d_t = int(blockmodel.block_total_degrees[t])
+    # Scalar lookups instead of the block_total_degrees property, which
+    # materialises a fresh length-B array on every access.
+    d_t = int(blockmodel.block_out_degrees[t]) + int(blockmodel.block_in_degrees[t])
     if rng.random() < num_blocks / (d_t + num_blocks):
         return int(rng.integers(num_blocks))
     s = blockmodel.sample_neighbor_block(t, rng)
@@ -103,7 +112,13 @@ def hastings_correction(
         return 1.0
     num_blocks = blockmodel.num_blocks
     matrix = blockmodel.matrix
-    d_total = blockmodel.block_total_degrees
+    # Scalar degree lookups: the block_total_degrees property would build a
+    # fresh length-B array on every proposal evaluation.
+    d_out_arr = blockmodel.block_out_degrees
+    d_in_arr = blockmodel.block_in_degrees
+
+    def d_total(t: int) -> int:
+        return int(d_out_arr[t]) + int(d_in_arr[t])
 
     # Sparse matrix delta induced by the move (mirrors Blockmodel.move_vertex),
     # needed to evaluate the reverse proposal on the post-move state.
@@ -130,7 +145,7 @@ def hastings_correction(
     degree_shift = counts.out_total + counts.in_total
 
     def new_degree(t: int) -> int:
-        d = int(d_total[t])
+        d = d_total(t)
         if t == r:
             d -= degree_shift
         elif t == s:
@@ -140,7 +155,7 @@ def hastings_correction(
     forward = 0.0
     backward = 0.0
     for t, k_t in combined.items():
-        forward += k_t * (matrix.get(t, s) + matrix.get(s, t) + 1.0) / (d_total[t] + num_blocks)
+        forward += k_t * (matrix.get(t, s) + matrix.get(s, t) + 1.0) / (d_total(t) + num_blocks)
         backward += k_t * (new_value(t, r) + new_value(r, t) + 1.0) / (new_degree(t) + num_blocks)
     if forward <= 0.0:
         return 1.0
@@ -163,9 +178,81 @@ def evaluate_vertex_move(
     return ProposalEvaluation(move, correction)
 
 
+#: log(p) below which exp() underflows to 0.0 (float64 denormal limit).
+_LOG_UNDERFLOW = -745.0
+
+
 def acceptance_probability(evaluation: ProposalEvaluation, beta: float) -> float:
-    """``min(1, exp(-beta * ΔDL) * hastings)`` with overflow protection."""
-    exponent = -beta * evaluation.delta_dl
-    if exponent > 50:  # exp() would overflow; the move is accepted anyway.
+    """``min(1, exp(-beta * ΔDL) * hastings)``, computed in log space.
+
+    Working with ``-beta·ΔDL + log(hastings)`` keeps the two factors from
+    over-/underflowing independently: a large negative ΔDL (huge positive
+    exponent) no longer forces acceptance when the Hastings factor is tiny,
+    and vice versa.  A non-positive Hastings factor (the reverse proposal is
+    impossible) rejects outright.
+    """
+    hastings = evaluation.hastings
+    if hastings <= 0.0:
+        return 0.0
+    log_p = -beta * evaluation.delta_dl + math.log(hastings)
+    if log_p >= 0.0:
         return 1.0
-    return min(1.0, math.exp(exponent) * evaluation.hastings)
+    if log_p < _LOG_UNDERFLOW:
+        return 0.0
+    return math.exp(log_p)
+
+
+def acceptance_probabilities(
+    delta_dl: np.ndarray,
+    hastings: np.ndarray,
+    beta: float,
+) -> np.ndarray:
+    """Vectorized :func:`acceptance_probability` over move batches."""
+    delta_dl = np.asarray(delta_dl, dtype=np.float64)
+    hastings = np.asarray(hastings, dtype=np.float64)
+    positive = hastings > 0.0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_p = -beta * delta_dl + np.log(np.where(positive, hastings, 1.0))
+    probs = np.exp(np.clip(log_p, _LOG_UNDERFLOW, 0.0))
+    probs = np.where(log_p >= 0.0, 1.0, probs)
+    probs = np.where(log_p < _LOG_UNDERFLOW, 0.0, probs)
+    return np.where(positive, probs, 0.0)
+
+
+def hastings_corrections(
+    blockmodel: Blockmodel,
+    evaluation: BatchMoveEvaluation,
+) -> np.ndarray:
+    """Batched :func:`hastings_correction` for a :class:`BatchMoveEvaluation`.
+
+    Evaluates the forward and reverse proposal probabilities of every move
+    in the batch with whole-batch gathers (``get_many``) against the same
+    stale state the ΔDL kernel used.  Moves with no non-self-loop neighbours
+    (or ``from == to``) get the neutral correction 1.0.
+    """
+    matrix = blockmodel.matrix
+    num_blocks = blockmodel.num_blocks
+    m = evaluation.vertices.shape[0]
+    mid = evaluation.nbr_move
+    t = evaluation.nbr_block
+    k_t = evaluation.nbr_weight
+    r = evaluation.from_blocks[mid]
+    s = evaluation.to_blocks[mid]
+    d_total = blockmodel.block_total_degrees
+
+    forward_terms = k_t * (matrix.get_many(t, s) + matrix.get_many(s, t) + 1.0) / (
+        d_total[t] + num_blocks
+    )
+
+    new_tr = matrix.get_many(t, r) + evaluation.entry_delta_at(mid, t, r)
+    new_rt = matrix.get_many(r, t) + evaluation.entry_delta_at(mid, r, t)
+    shift = (evaluation.out_totals + evaluation.in_totals)[mid]
+    new_deg_t = d_total[t] + np.where(t == s, shift, 0) - np.where(t == r, shift, 0)
+    backward_terms = k_t * (new_tr + new_rt + 1.0) / (new_deg_t + num_blocks)
+
+    forward = np.bincount(mid, weights=forward_terms, minlength=m)
+    backward = np.bincount(mid, weights=backward_terms, minlength=m)
+    neutral = (forward <= 0.0) | (evaluation.from_blocks == evaluation.to_blocks)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(neutral, 1.0, backward / np.where(forward > 0.0, forward, 1.0))
+    return ratio

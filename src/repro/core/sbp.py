@@ -73,7 +73,7 @@ def stochastic_block_partition(
     if initial_blockmodel is not None:
         current = initial_blockmodel.copy()
     else:
-        current = Blockmodel.from_graph(graph)
+        current = Blockmodel.from_graph(graph, matrix_backend=config.matrix_backend)
     if current.graph is not graph and current.graph != graph:
         raise ValueError("initial_blockmodel must be defined over the same graph")
 
@@ -144,7 +144,9 @@ def stochastic_block_partition(
     total_timer.stop()
 
     # Relabel the winning assignment contiguously for downstream consumers.
-    final = Blockmodel.from_assignment(graph, best.blockmodel.assignment, relabel=True)
+    final = Blockmodel.from_assignment(
+        graph, best.blockmodel.assignment, relabel=True, matrix_backend=config.matrix_backend
+    )
     return SBPResult(
         graph=graph,
         blockmodel=final,

@@ -192,6 +192,21 @@ class Graph:
     def neighbor_weights(self, v: int) -> np.ndarray:
         return self._both.weights(v)
 
+    def out_adjacency(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, indices, data)`` of the out-adjacency CSR structure.
+
+        Vertex ``v``'s out-neighbours are ``indices[indptr[v]:indptr[v+1]]``
+        with weights ``data[indptr[v]:indptr[v+1]]``.  The arrays are the
+        graph's own storage; callers must treat them as read-only.  The
+        vectorized blockmodel kernels use these to gather whole batches of
+        neighbourhoods without per-vertex Python calls.
+        """
+        return self._out.indptr, self._out.indices, self._out.data
+
+    def in_adjacency(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(indptr, indices, data)`` of the in-adjacency CSR structure."""
+        return self._in.indptr, self._in.indices, self._in.data
+
     def out_degree(self, v: int) -> int:
         return int(self.out_degrees[v])
 

@@ -1,5 +1,8 @@
 """Tests for the SBP building blocks: proposals, merges, MCMC, golden ratio."""
 
+import math
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -7,7 +10,8 @@ from repro.blockmodel.blockmodel import Blockmodel
 from repro.core.config import MCMCVariant, SBPConfig
 from repro.core.golden_ratio import GoldenRatioSearch
 from repro.core.hybrid_mcmc import batch_gibbs_sweep, hybrid_sweep, split_by_degree
-from repro.core.mcmc import make_sweep_fn, mcmc_phase, metropolis_hastings_sweep
+from repro.core.mcmc import SweepResult, make_sweep_fn, mcmc_phase, metropolis_hastings_sweep
+from repro.graphs.graph import Graph
 from repro.core.merges import MergeProposal, block_merge_phase, propose_merges, select_and_apply_merges
 from repro.core.proposals import (
     acceptance_probability,
@@ -286,3 +290,60 @@ class TestGoldenRatioSearch:
         search = GoldenRatioSearch(reduction_rate=0.5, min_blocks=1)
         decision = search.update(*self._entry(planted_graph, 1, 50.0))
         assert decision.done
+
+
+class TestProposalRegressions:
+    def test_zero_weight_neighbors_fall_back_to_uniform(self):
+        # Regression: a vertex whose neighbour weights sum to zero used to
+        # reach ``rng.integers(0)``, which raises.  The weights are zeroed
+        # behind the graph's back to simulate the degenerate state.
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        g._both.data[:] = 0
+        bm = Blockmodel.from_graph(g)
+        rng = np.random.default_rng(0)
+        seen = {propose_block_for_vertex(bm, 1, rng) for _ in range(64)}
+        assert seen <= set(range(bm.num_blocks))
+        assert len(seen) > 1  # uniform fallback actually explores blocks
+
+    def test_tiny_hastings_rejects_despite_huge_exponent(self):
+        # Regression: ``exponent > 50`` used to short-circuit to "accept"
+        # even when the Hastings factor was effectively zero.  In log space
+        # the two factors are combined before any cutoff is applied.
+        evaluation = SimpleNamespace(delta_dl=-100.0, hastings=1e-300)
+        p = acceptance_probability(evaluation, beta=3.0)
+        assert p < 1e-100  # -beta·ΔDL = 300, log(hastings) ≈ -690.8
+        assert p == pytest.approx(math.exp(300.0 + math.log(1e-300)))
+
+    def test_zero_hastings_rejects_outright(self):
+        evaluation = SimpleNamespace(delta_dl=-100.0, hastings=0.0)
+        assert acceptance_probability(evaluation, beta=3.0) == 0.0
+
+    def test_extreme_exponent_saturates_without_overflow(self):
+        evaluation = SimpleNamespace(delta_dl=-1e6, hastings=2.0)
+        assert acceptance_probability(evaluation, beta=3.0) == 1.0
+        evaluation = SimpleNamespace(delta_dl=1e6, hastings=0.5)
+        assert acceptance_probability(evaluation, beta=3.0) == 0.0
+
+
+class TestMCMCConvergenceCheck:
+    def test_convergence_compares_against_exact_dl(self, planted_graph):
+        # A sweep that mutates nothing but reports a large stale ΔDL.  With
+        # the old drift-accumulated right-hand side (current_dl += ΔDL) the
+        # threshold would inflate every sweep and the phase would stop after
+        # two sweeps; against the exact (unchanging) DL it must run out the
+        # iteration budget.
+        bm = Blockmodel.from_assignment(planted_graph, planted_graph.true_assignment)
+        stale_delta = 3.0 * abs(bm.description_length())
+        config = SBPConfig(seed=0, max_mcmc_iterations=6, mcmc_convergence_threshold=0.5)
+
+        def stale_sweep(model, vertices, cfg, rng):
+            return SweepResult(accepted_moves=0, proposed_moves=0, delta_dl=stale_delta)
+
+        phase = mcmc_phase(bm, config, np.random.default_rng(0), sweep_fn=stale_sweep)
+        assert phase.sweeps == config.max_mcmc_iterations
+        assert phase.description_length == pytest.approx(bm.description_length())
+
+    def test_reported_dl_is_exact(self, planted_graph, fast_config):
+        bm = Blockmodel.from_graph(planted_graph, num_blocks=12)
+        phase = mcmc_phase(bm, fast_config, np.random.default_rng(1))
+        assert phase.description_length == pytest.approx(bm.description_length())

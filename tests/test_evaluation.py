@@ -157,3 +157,41 @@ class TestIslandStudy:
 
     def test_bin_island_study_empty(self):
         assert bin_island_study([]) == []
+
+
+class TestNMIEdgeCases:
+    """Degenerate partitions: trivial (single-block) vs many-block labelings."""
+
+    def test_single_block_vs_many_blocks_all_normalizations(self):
+        trivial = np.zeros(12, dtype=int)
+        many = np.arange(12)
+        # One trivial partition shares no information with any other
+        # labeling, whichever normalisation is used.
+        for norm in ("average", "sqrt", "min", "max"):
+            assert normalized_mutual_information(trivial, many, normalization=norm) == 0.0
+            assert normalized_mutual_information(many, trivial, normalization=norm) == 0.0
+
+    def test_min_max_normalizations_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        for norm in ("min", "max"):
+            assert normalized_mutual_information(labels, labels, normalization=norm) == pytest.approx(1.0)
+
+    def test_min_max_diverge_on_nested_partitions(self):
+        # ``fine`` refines ``coarse``: MI equals H(coarse), so the "min"
+        # normalisation saturates at 1 while "max" stays strictly below.
+        coarse = np.array([0, 0, 0, 1, 1, 1])
+        fine = np.array([0, 1, 1, 2, 2, 3])
+        nmi_min = normalized_mutual_information(coarse, fine, normalization="min")
+        nmi_max = normalized_mutual_information(coarse, fine, normalization="max")
+        assert nmi_min == pytest.approx(1.0)
+        assert nmi_max < nmi_min
+
+    def test_both_trivial_partitions_are_identical(self):
+        trivial = np.zeros(5, dtype=int)
+        for norm in ("average", "sqrt", "min", "max"):
+            assert normalized_mutual_information(trivial, trivial, normalization=norm) == 1.0
+
+    def test_unknown_normalization_rejected(self):
+        labels = np.array([0, 1])
+        with pytest.raises(ValueError):
+            normalized_mutual_information(labels, labels, normalization="geometric")

@@ -99,3 +99,58 @@ def test_check_consistent_detects_corruption():
 def test_negative_size_rejected():
     with pytest.raises(ValueError):
         SparseBlockMatrix(-1)
+
+
+class TestMixedOperationConsistency:
+    """check_consistent after interleaved add / set / copy sequences."""
+
+    def test_mixed_add_set_sequences_keep_views_consistent(self):
+        m = SparseBlockMatrix(4)
+        m.add(0, 1, 3)
+        m.set(1, 2, 5)
+        m.add(0, 1, -3)   # entry drops back to zero and must vanish
+        m.set(2, 0, 4)
+        m.set(2, 0, 0)    # explicit zeroing must also vanish
+        m.add(3, 3, 2)
+        m.set(3, 3, 7)    # overwrite an existing entry
+        m.check_consistent()
+        assert m.get(0, 1) == 0
+        assert 1 not in m.rows[0] and 0 not in m.cols[1]
+        assert m.get(2, 0) == 0
+        assert 0 not in m.rows[2] and 2 not in m.cols[0]
+        assert m.get(3, 3) == 7
+        assert m.nnz() == 2
+
+    def test_copy_then_mutate_keeps_both_consistent(self):
+        m = SparseBlockMatrix(3)
+        m.add(0, 1, 2)
+        m.add(1, 2, 4)
+        c = m.copy()
+        c.set(1, 2, 0)
+        c.add(2, 0, 9)
+        m.add(0, 1, -2)
+        m.check_consistent()
+        c.check_consistent()
+        assert m.get(1, 2) == 4 and c.get(1, 2) == 0
+        assert m.get(0, 1) == 0 and c.get(0, 1) == 2
+        assert c.get(2, 0) == 9 and m.get(2, 0) == 0
+        assert m != c
+
+    def test_interleaved_operations_match_dense_reference(self):
+        rng = np.random.default_rng(9)
+        m = SparseBlockMatrix(5)
+        dense = np.zeros((5, 5), dtype=np.int64)
+        for _ in range(200):
+            i, j = int(rng.integers(5)), int(rng.integers(5))
+            if rng.random() < 0.5:
+                delta = int(rng.integers(-2, 5))
+                if dense[i, j] + delta < 0:
+                    continue
+                m.add(i, j, delta)
+                dense[i, j] += delta
+            else:
+                value = int(rng.integers(0, 6))
+                m.set(i, j, value)
+                dense[i, j] = value
+        m.check_consistent()
+        assert np.array_equal(m.to_dense(), dense)
