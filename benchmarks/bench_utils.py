@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark suite (imported by the test modules).
+
+This lives outside ``conftest.py`` because test modules import it by module
+name: bare ``conftest`` is ambiguous the moment another suite (``tests/``,
+``tests/differential/``) has loaded its own ``conftest.py`` under that name
+in a mixed-path pytest invocation.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are far too slow for statistical repetition; a single
+    round still records the wall-clock in the benchmark report.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -33,10 +33,3 @@ def report():
     return _report
 
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing.
-
-    The experiments are far too slow for statistical repetition; a single
-    round still records the wall-clock in the benchmark report.
-    """
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -9,7 +9,7 @@ is a ≥3× speedup over the dict reference on this graph.
 import time
 
 import numpy as np
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.blockmodel.blockmodel import Blockmodel
 from repro.core.config import SBPConfig

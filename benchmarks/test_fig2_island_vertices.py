@@ -8,7 +8,7 @@ via binned means.
 """
 
 import numpy as np
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_fig2
 

@@ -8,7 +8,7 @@ EDiSt with a growing task count and reports the modelled single-node runtime
 non-increasing runtime with diminishing returns, at unchanged accuracy.
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_fig3
 

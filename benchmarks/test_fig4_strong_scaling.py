@@ -5,7 +5,7 @@ eventually levels off, the level-off point moves out for larger graphs, and
 NMI stays flat at every rank count.
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_fig4
 

@@ -8,7 +8,7 @@ over single-node shared-memory SBP.  The reproduction checks the who-wins
 relationships, not the absolute factors.
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_fig5
 

@@ -8,7 +8,7 @@ graph (the Twitter stand-in) DC-SBP survives to more ranks, so the gap there
 is smallest.
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_fig6
 

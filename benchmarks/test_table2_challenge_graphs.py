@@ -4,7 +4,7 @@ Regenerates the six Graph Challenge graphs (scaled) with the from-scratch
 DCSBM generator and reports their sizes next to the paper's values.
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_table2
 

@@ -6,7 +6,7 @@ makes the graphs dramatically sparser.
 """
 
 import numpy as np
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_table3
 

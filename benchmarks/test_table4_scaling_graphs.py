@@ -1,6 +1,6 @@
 """Table IV — synthetic strong-scaling graphs (1M / 2M / 4M family)."""
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_table4
 

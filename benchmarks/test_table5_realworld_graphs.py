@@ -4,7 +4,7 @@ The SNAP/SuiteSparse datasets are not redistributable here; the stand-ins
 must preserve the density ordering the paper relies on (Twitter densest).
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_table5
 

@@ -9,7 +9,7 @@ delta machinery; the same who-wins shape is expected.
 
 import math
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_table6
 

@@ -13,7 +13,7 @@ The paper's headline observations, which must reproduce in shape:
   of vertices as islands.
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_table7
 

@@ -5,7 +5,7 @@ count, on both the dense and the sparse graphs — the two situations where
 DC-SBP collapses (Table VII).
 """
 
-from conftest import run_once
+from bench_utils import run_once
 
 from repro.harness.experiments import run_table7, run_table8
 

@@ -1,18 +1,30 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: fast-fail lint, then the full test suite.
 #
-# Usage:  scripts/verify.sh [extra pytest args]
+# Usage:  scripts/verify.sh [--differential] [extra pytest args]
 #
 # This is the single command builders gate on (see ROADMAP.md).  The
 # compileall step catches syntax/import-level breakage in seconds before
 # the multi-minute pytest run starts; extra arguments are forwarded to
 # pytest (e.g. `scripts/verify.sh tests/` to skip the benchmark suite).
+#
+#   --differential   run only the cross-backend differential suite
+#                    (tests/differential/): dict vs csr bit-identity
+#                    through sequential SBP, DC-SBP and EDiSt, plus the
+#                    golden-file regression partitions.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== lint: python -m compileall src =="
 python -m compileall -q src
+
+if [[ "${1:-}" == "--differential" ]]; then
+    shift
+    echo "== differential: python -m pytest -x -q tests/differential =="
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q tests/differential "$@"
+    exit 0
+fi
 
 echo "== tests: python -m pytest -x -q =="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"

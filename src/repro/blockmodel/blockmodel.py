@@ -343,13 +343,21 @@ class Blockmodel:
     # ------------------------------------------------------------------
     # Sampling helpers used by the MCMC proposal distribution
     # ------------------------------------------------------------------
-    def sample_neighbor_block(self, block: int, rng: np.random.Generator) -> int:
+    def sample_neighbor_block(
+        self, block: int, rng: np.random.Generator, cumsum_cache: Optional[Dict] = None
+    ) -> int:
         """Sample a block adjacent to ``block`` ∝ its edge multiplicities.
 
         Considers both out-edges (row) and in-edges (column) of ``block``.
         Returns ``-1`` if ``block`` has no incident edges.  Entries are
         scanned in ascending block order for both storage backends, so a
         given RNG draw selects the same block regardless of backend.
+
+        ``cumsum_cache`` (dense backend only) memoizes the per-block
+        cumulative sums across calls; callers that sample the same blocks
+        many times while the blockmodel is *frozen* — the merge-proposal
+        loop — pass a dict they own.  Caching changes neither the RNG
+        consumption nor the result.
         """
         total = int(self.block_out_degrees[block]) + int(self.block_in_degrees[block])
         if total <= 0:
@@ -361,9 +369,19 @@ class Blockmodel:
             # draws beyond the row total) over the column.
             row_total = matrix.row_sum(block)
             if target < row_total:
-                cum = np.cumsum(matrix.row_array(block))
+                key = ("row", block)
+                cum = cumsum_cache.get(key) if cumsum_cache is not None else None
+                if cum is None:
+                    cum = np.cumsum(matrix.row_array(block))
+                    if cumsum_cache is not None:
+                        cumsum_cache[key] = cum
                 return int(np.searchsorted(cum, target, side="right"))
-            cum = np.cumsum(matrix.col_array(block))
+            key = ("col", block)
+            cum = cumsum_cache.get(key) if cumsum_cache is not None else None
+            if cum is None:
+                cum = np.cumsum(matrix.col_array(block))
+                if cumsum_cache is not None:
+                    cumsum_cache[key] = cum
             return int(np.searchsorted(cum, target - row_total, side="right"))
         row = matrix.row(block)
         col = matrix.col(block)
@@ -390,7 +408,9 @@ class Blockmodel:
         incremental updates and blockmodel synchronisation preserved the
         invariants.
         """
-        rebuilt = Blockmodel.from_assignment(self.graph, self.assignment, self.num_blocks)
+        rebuilt = Blockmodel.from_assignment(
+            self.graph, self.assignment, self.num_blocks, matrix_backend=self.matrix_backend
+        )
         self.matrix.check_consistent()
         if self.matrix != rebuilt.matrix:
             raise AssertionError("block matrix out of sync with assignment")

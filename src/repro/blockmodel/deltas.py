@@ -34,6 +34,7 @@ __all__ = [
     "delta_dl_for_move",
     "delta_dl_for_moves",
     "delta_dl_for_merge",
+    "delta_dl_for_merges",
 ]
 
 
@@ -538,6 +539,37 @@ def delta_dl_for_moves(
     )
 
 
+def _merge_region_sums(
+    segment_ids: np.ndarray,
+    values: np.ndarray,
+    denominators: np.ndarray,
+    num_segments: int,
+) -> np.ndarray:
+    """Per-segment likelihood sums ``Σ v·log(v / denom)``, in input order.
+
+    This is the one summation primitive shared by the scalar
+    (:func:`delta_dl_for_merge`) and batched (:func:`delta_dl_for_merges`)
+    merge kernels.  ``np.bincount`` accumulates its weights strictly
+    sequentially in input order, so as long as both callers lay out a merge
+    candidate's region entries in the same order, the two paths produce
+    **bit-identical** sums — which is what lets the dict and CSR backends
+    select identical merges (the sort keys of the merge phase are these
+    floats).  All entries must have ``v > 0`` and ``denom > 0``.
+    """
+    if values.size == 0:
+        return np.zeros(num_segments, dtype=np.float64)
+    terms = values * np.log(values / denominators)
+    return np.bincount(segment_ids, weights=terms, minlength=num_segments)
+
+
+def _merge_model_term_delta(blockmodel: Blockmodel) -> float:
+    """Eq. (2) model-term change of one merge (identical for all candidates)."""
+    num_nonempty = blockmodel.num_nonempty_blocks()
+    before = model_complexity_term(blockmodel.num_vertices, blockmodel.num_edges, max(num_nonempty, 1))
+    after = model_complexity_term(blockmodel.num_vertices, blockmodel.num_edges, max(num_nonempty - 1, 1))
+    return after - before
+
+
 def delta_dl_for_merge(
     blockmodel: Blockmodel,
     from_block: int,
@@ -550,6 +582,13 @@ def delta_dl_for_merge(
     ``to_block`` while ``from_block`` becomes empty.  With
     ``include_model_term=True`` the Eq. (2) model-term change for going from
     ``B`` to ``B − 1`` blocks is added (identical for all merge candidates).
+
+    The affected region (rows and columns ``r`` and ``s``) is evaluated
+    entry-by-entry in a canonical order — row ``r`` ascending, row ``s``
+    ascending, column ``r`` ascending, column ``s`` ascending (the two
+    columns skip entries whose row is ``r`` or ``s`` to avoid double
+    counting) — through :func:`_merge_region_sums`, so the result is
+    bit-identical to the batched :func:`delta_dl_for_merges` kernel.
     """
     r, s = int(from_block), int(to_block)
     if r == s:
@@ -557,36 +596,203 @@ def delta_dl_for_merge(
     matrix = blockmodel.matrix
     d_out = blockmodel.block_out_degrees
     d_in = blockmodel.block_in_degrees
+    row_r, row_s = matrix.row(r), matrix.row(s)
+    col_r, col_s = matrix.col(r), matrix.col(s)
+    dout_r, dout_s = int(d_out[r]), int(d_out[s])
+    din_r, din_s = int(d_in[r]), int(d_in[s])
 
-    old_rows = {r: matrix.row(r), s: matrix.row(s)}
-    old_cols = {r: matrix.col(r), s: matrix.col(s)}
+    vals: list = []
+    denoms: list = []
+    for row, dout in ((row_r, dout_r), (row_s, dout_s)):
+        for j in sorted(row):
+            v = row[j]
+            if v > 0:
+                vals.append(v)
+                denoms.append(dout * int(d_in[j]))
+    for col, din in ((col_r, din_r), (col_s, din_s)):
+        for i in sorted(col):
+            if i == r or i == s:
+                continue
+            v = col[i]
+            if v > 0:
+                vals.append(v)
+                denoms.append(int(d_out[i]) * din)
+    num_old = len(vals)
 
+    # The merged block keeps label ``s``: fold index ``r`` into ``s`` in both
+    # the merged row and the merged column.
     merged_row: Dict[int, int] = {}
-    for source in (matrix.row(r), matrix.row(s)):
+    for source in (row_r, row_s):
         for j, w in source.items():
             key = s if j == r else j
             merged_row[key] = merged_row.get(key, 0) + w
     merged_col: Dict[int, int] = {}
-    for source in (matrix.col(r), matrix.col(s)):
+    for source in (col_r, col_s):
         for i, w in source.items():
             key = s if i == r else i
             merged_col[key] = merged_col.get(key, 0) + w
+    merged_dout = dout_r + dout_s
+    merged_din = din_r + din_s
 
-    new_rows = {r: {}, s: merged_row}
-    new_cols = {r: {}, s: merged_col}
+    for j in sorted(merged_row):
+        v = merged_row[j]
+        if v > 0:
+            vals.append(v)
+            denoms.append(merged_dout * (merged_din if j == s else int(d_in[j])))
+    for i in sorted(merged_col):
+        if i == r or i == s:
+            continue
+        v = merged_col[i]
+        if v > 0:
+            vals.append(v)
+            denoms.append(int(d_out[i]) * merged_din)
 
-    new_d_out = _DegreeView(d_out, {r: 0, s: int(d_out[r]) + int(d_out[s])})
-    new_d_in = _DegreeView(d_in, {r: 0, s: int(d_in[r]) + int(d_in[s])})
-    old_d_out = _DegreeView(d_out)
-    old_d_in = _DegreeView(d_in)
-
-    old_term = _region_likelihood(old_rows, old_cols, old_d_out, old_d_in)
-    new_term = _region_likelihood(new_rows, new_cols, new_d_out, new_d_in)
-    delta = old_term - new_term
+    ids = np.zeros(len(vals), dtype=np.int64)
+    ids[num_old:] = 1
+    sums = _merge_region_sums(
+        ids, np.asarray(vals, dtype=np.int64), np.asarray(denoms, dtype=np.int64), 2
+    )
+    delta = float(sums[0] - sums[1])
 
     if include_model_term:
-        num_nonempty = blockmodel.num_nonempty_blocks()
-        before = model_complexity_term(blockmodel.num_vertices, blockmodel.num_edges, max(num_nonempty, 1))
-        after = model_complexity_term(blockmodel.num_vertices, blockmodel.num_edges, max(num_nonempty - 1, 1))
-        delta += after - before
+        delta += _merge_model_term_delta(blockmodel)
     return delta
+
+
+def _csr_structure(matrix) -> tuple:
+    """Row- and column-major CSR views of a dense block matrix's non-zeros."""
+    nz_i, nz_j, nz_v = matrix.nonzero_arrays()
+    num_blocks = matrix.num_blocks
+    row_ptr = np.zeros(num_blocks + 1, dtype=np.int64)
+    np.cumsum(np.bincount(nz_i, minlength=num_blocks), out=row_ptr[1:])
+    order = np.lexsort((nz_i, nz_j))
+    col_i, col_v = nz_i[order], nz_v[order]
+    col_ptr = np.zeros(num_blocks + 1, dtype=np.int64)
+    np.cumsum(np.bincount(nz_j, minlength=num_blocks), out=col_ptr[1:])
+    return (nz_j, nz_v, row_ptr), (col_i, col_v, col_ptr)
+
+
+def _gather_segments(ptr: np.ndarray, blocks: np.ndarray) -> tuple:
+    """Flattened CSR segments of the given blocks: (candidate_idx, flat_idx)."""
+    starts = ptr[blocks]
+    lengths = ptr[blocks + 1] - starts
+    flat = _concat_ranges(starts, lengths)
+    cand = np.repeat(np.arange(blocks.shape[0], dtype=np.int64), lengths)
+    return cand, flat
+
+
+def delta_dl_for_merges(
+    blockmodel: Blockmodel,
+    from_blocks: np.ndarray,
+    to_blocks: np.ndarray,
+    include_model_term: bool = False,
+) -> np.ndarray:
+    """Batched ΔDL of many candidate block merges (the merge-phase kernel).
+
+    Vectorized counterpart of :func:`delta_dl_for_merge`: all candidates are
+    scored with whole-batch numpy gathers over the non-zero structure of the
+    block matrix instead of per-candidate Python loops.  Per-candidate work
+    is O(Σ nnz(rows/cols touched)), on top of a once-per-call structure
+    build that scans the dense matrix (O(B²) + O(nnz·log nnz)) — callers
+    amortise that by scoring a whole phase's candidates in one batch, the
+    way :func:`repro.core.merges.best_segmented_merges` does.
+
+    Each candidate's region entries are laid out in exactly the canonical
+    order of the scalar kernel and summed through the same sequential
+    primitive (:func:`_merge_region_sums`), so the returned deltas are
+    **bit-identical** to per-candidate :func:`delta_dl_for_merge` calls —
+    the property the cross-backend differential suite locks down.
+
+    Requires a backend with batched access (``SBPConfig(matrix_backend='csr')``).
+    Candidates with ``from_block == to_block`` get ``ΔDL = 0``.
+    """
+    from_blocks = np.asarray(from_blocks, dtype=np.int64)
+    to_blocks = np.asarray(to_blocks, dtype=np.int64)
+    if from_blocks.shape != to_blocks.shape:
+        raise ValueError("from_blocks and to_blocks must have the same shape")
+    matrix = blockmodel.matrix
+    if not hasattr(matrix, "row_array"):
+        raise TypeError(
+            "delta_dl_for_merges requires a batched matrix backend "
+            "(SBPConfig(matrix_backend='csr'))"
+        )
+    total = from_blocks.shape[0]
+    deltas = np.zeros(total, dtype=np.float64)
+    valid = np.flatnonzero(from_blocks != to_blocks)
+    if valid.size == 0:
+        return deltas
+    r = from_blocks[valid]
+    s = to_blocks[valid]
+    m = valid.size
+    num_blocks = np.int64(blockmodel.num_blocks)
+    d_out = blockmodel.block_out_degrees
+    d_in = blockmodel.block_in_degrees
+    (row_j, row_v, row_ptr), (col_i, col_v, col_ptr) = _csr_structure(matrix)
+
+    # ------------------------------------------------------------------
+    # Old region, laid out per candidate as [row r | row s | col r | col s]
+    # (columns skip entries whose row index is r or s), each ascending —
+    # the scalar kernel's exact order.
+    # ------------------------------------------------------------------
+    ids_parts: list = []
+    vals_parts: list = []
+    denom_parts: list = []
+    for blocks_arr in (r, s):
+        cand, flat = _gather_segments(row_ptr, blocks_arr)
+        j = row_j[flat]
+        ids_parts.append(cand)
+        vals_parts.append(row_v[flat])
+        denom_parts.append(d_out[blocks_arr[cand]] * d_in[j])
+    for blocks_arr in (r, s):
+        cand, flat = _gather_segments(col_ptr, blocks_arr)
+        i = col_i[flat]
+        keep = (i != r[cand]) & (i != s[cand])
+        cand, i, flat = cand[keep], i[keep], flat[keep]
+        ids_parts.append(cand)
+        vals_parts.append(col_v[flat])
+        denom_parts.append(d_out[i] * d_in[blocks_arr[cand]])
+    old_sums = _merge_region_sums(
+        np.concatenate(ids_parts), np.concatenate(vals_parts), np.concatenate(denom_parts), m
+    )
+
+    # ------------------------------------------------------------------
+    # Merged region: per candidate the merged row then the merged column,
+    # with index r folded into s, entries ascending (np.unique sorts the
+    # ``candidate·B + index`` keys, giving exactly the scalar iteration
+    # order) and integer-exact aggregation.
+    # ------------------------------------------------------------------
+    merged_dout = d_out[r] + d_out[s]
+    merged_din = d_in[r] + d_in[s]
+
+    def _merged_axis(ptr, idx_arr, val_arr):
+        cand_r, flat_r = _gather_segments(ptr, r)
+        cand_s, flat_s = _gather_segments(ptr, s)
+        cand = np.concatenate([cand_r, cand_s])
+        idx = np.concatenate([idx_arr[flat_r], idx_arr[flat_s]])
+        val = np.concatenate([val_arr[flat_r], val_arr[flat_s]])
+        idx = np.where(idx == r[cand], s[cand], idx)
+        keys = cand * num_blocks + idx
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        agg = np.bincount(inverse, weights=val, minlength=unique_keys.shape[0]).astype(np.int64)
+        return unique_keys // num_blocks, unique_keys % num_blocks, agg
+
+    row_cand, row_idx, row_agg = _merged_axis(row_ptr, row_j, row_v)
+    row_denom = merged_dout[row_cand] * np.where(
+        row_idx == s[row_cand], merged_din[row_cand], d_in[row_idx]
+    )
+    col_cand, col_idx, col_agg = _merged_axis(col_ptr, col_i, col_v)
+    keep = (col_idx != r[col_cand]) & (col_idx != s[col_cand])
+    col_cand, col_idx, col_agg = col_cand[keep], col_idx[keep], col_agg[keep]
+    col_denom = d_out[col_idx] * merged_din[col_cand]
+
+    new_sums = _merge_region_sums(
+        np.concatenate([row_cand, col_cand]),
+        np.concatenate([row_agg, col_agg]),
+        np.concatenate([row_denom, col_denom]),
+        m,
+    )
+
+    deltas[valid] = old_sums - new_sums
+    if include_model_term:
+        deltas[valid] += _merge_model_term_delta(blockmodel)
+    return deltas

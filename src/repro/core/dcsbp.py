@@ -30,6 +30,7 @@ import numpy as np
 from repro.blockmodel.blockmodel import Blockmodel, resolve_merge_chain
 from repro.blockmodel.deltas import delta_dl_for_merge
 from repro.core.config import SBPConfig
+from repro.core.merges import best_segmented_merges
 from repro.core.results import SBPResult
 from repro.core.sbp import stochastic_block_partition
 from repro.graphs.graph import Graph
@@ -85,6 +86,11 @@ def merge_partial_pair(
     ``config.dcsbp_merge_candidates`` is set, only that many randomly chosen
     candidate targets are evaluated per community (a speed/quality knob the
     original implementation exposes through its sampling of merge targets).
+
+    The combine blockmodel uses ``config.matrix_backend``; on the CSR
+    backend every community's candidate targets are scored with one batched
+    :func:`delta_dl_for_merges` call (bit-identical deltas, so both backends
+    pick the same targets under the same seed).
     """
     union = np.concatenate([first.vertices, second.vertices])
     offset = first.num_communities
@@ -101,28 +107,43 @@ def merge_partial_pair(
     local_labels[part.global_to_local[union_sorted]] = labels_sorted
 
     num_blocks = offset + second.num_communities
-    blockmodel = Blockmodel.from_assignment(part.subgraph, local_labels, num_blocks=num_blocks)
+    blockmodel = Blockmodel.from_assignment(
+        part.subgraph, local_labels, num_blocks=num_blocks, matrix_backend=config.matrix_backend
+    )
 
     first_blocks = np.arange(offset, dtype=np.int64)
     merge_target = np.arange(num_blocks, dtype=np.int64)
+    batched = hasattr(blockmodel.matrix, "row_array")
+    pair_targets: List[int] = []
+    pair_segments: List[tuple] = []  # (block, start, end) into pair_targets
     for block in range(offset, num_blocks):
         if blockmodel.block_sizes[block] <= 0:
             continue
         candidates = first_blocks
         if config.dcsbp_merge_candidates is not None and rng is not None and first_blocks.size > config.dcsbp_merge_candidates:
             candidates = rng.choice(first_blocks, size=config.dcsbp_merge_candidates, replace=False)
+        kept = [
+            int(target)
+            for target in candidates
+            if not (blockmodel.block_sizes[int(target)] <= 0 and first_blocks.size > 1)
+        ]
+        if batched:
+            start = len(pair_targets)
+            pair_targets.extend(kept)
+            pair_segments.append((block, start, len(pair_targets)))
+            continue
         best_target = -1
         best_delta = float("inf")
-        for target in candidates:
-            target = int(target)
-            if blockmodel.block_sizes[target] <= 0 and first_blocks.size > 1:
-                continue
+        for target in kept:
             delta = delta_dl_for_merge(blockmodel, block, target)
             if delta < best_delta:
                 best_delta = delta
                 best_target = target
         if best_target >= 0:
             merge_target[block] = best_target
+    if batched and pair_targets:
+        for block, target, _delta in best_segmented_merges(blockmodel, pair_segments, pair_targets):
+            merge_target[block] = target
 
     resolved = resolve_merge_chain(merge_target)
     merged_labels = resolved[local_labels]
@@ -199,7 +220,9 @@ def dcsbp_rank_program(comm: Communicator, graph: Graph, config: SBPConfig) -> O
 
         # Line 23: fine-tune on the whole graph, starting from the combination.
         with timers.measure("finetune"):
-            initial = Blockmodel.from_assignment(graph, full_assignment, relabel=True)
+            initial = Blockmodel.from_assignment(
+                graph, full_assignment, relabel=True, matrix_backend=config.matrix_backend
+            )
             fine = stochastic_block_partition(
                 graph,
                 config.with_seed(rngs.seed_for("finetune")),
@@ -237,7 +260,9 @@ def divide_and_conquer_sbp(
     total.stop()
 
     root = run.results[0]
-    blockmodel = Blockmodel.from_assignment(graph, root["assignment"], relabel=True)
+    blockmodel = Blockmodel.from_assignment(
+        graph, root["assignment"], relabel=True, matrix_backend=config.matrix_backend
+    )
 
     per_rank_phases = [r["phase_seconds"] for r in run.results]
     phase_totals: dict = {}

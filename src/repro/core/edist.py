@@ -142,7 +142,7 @@ def edist_rank_program(comm: Communicator, graph: Graph, config: SBPConfig) -> d
     rngs = RngRegistry(config.seed).child("edist", comm.rank)
     vertex_owner = degree_balanced_assignment(graph, comm.size)
 
-    current = Blockmodel.from_graph(graph)
+    current = Blockmodel.from_graph(graph, matrix_backend=config.matrix_backend)
     search = GoldenRatioSearch(config.block_reduction_rate, config.min_blocks)
     num_to_merge = max(int(round(current.num_blocks * config.block_reduction_rate)), 0)
     history: List[IterationRecord] = []
@@ -202,7 +202,9 @@ def edist(
     total.stop()
 
     root = run.results[0]
-    blockmodel = Blockmodel.from_assignment(graph, root["assignment"], relabel=True)
+    blockmodel = Blockmodel.from_assignment(
+        graph, root["assignment"], relabel=True, matrix_backend=config.matrix_backend
+    )
 
     per_rank_phases = [r["phase_seconds"] for r in run.results]
     phase_totals: dict = {}

@@ -21,10 +21,16 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.blockmodel.blockmodel import Blockmodel, resolve_merge_chain
-from repro.blockmodel.deltas import delta_dl_for_merge
+from repro.blockmodel.deltas import delta_dl_for_merge, delta_dl_for_merges
 from repro.core.config import SBPConfig
 
-__all__ = ["MergeProposal", "propose_merges", "select_and_apply_merges", "block_merge_phase"]
+__all__ = [
+    "MergeProposal",
+    "propose_merges",
+    "best_segmented_merges",
+    "select_and_apply_merges",
+    "block_merge_phase",
+]
 
 
 @dataclass(frozen=True)
@@ -40,6 +46,7 @@ def _propose_merge_target(
     blockmodel: Blockmodel,
     block: int,
     rng: np.random.Generator,
+    cumsum_cache: Optional[dict] = None,
 ) -> int:
     """Propose a candidate block to merge ``block`` into.
 
@@ -47,7 +54,9 @@ def _propose_merge_target(
     ``t``); with probability ``B / (d_t + B)`` jump to a uniformly random
     other block, otherwise follow one of ``t``'s edges.  Falls back to a
     uniform random other block whenever the walk lands back on ``block`` or
-    on an empty neighbourhood.
+    on an empty neighbourhood.  ``cumsum_cache`` is forwarded to
+    :meth:`Blockmodel.sample_neighbor_block` (the batched path memoizes the
+    dense cumulative sums across the phase's many proposals).
     """
     num_blocks = blockmodel.num_blocks
     if num_blocks <= 1:
@@ -57,16 +66,46 @@ def _propose_merge_target(
         offset = int(rng.integers(1, num_blocks))
         return (block + offset) % num_blocks
 
-    t = blockmodel.sample_neighbor_block(block, rng)
+    t = blockmodel.sample_neighbor_block(block, rng, cumsum_cache)
     if t < 0:
         return random_other()
     d_t = int(blockmodel.block_out_degrees[t]) + int(blockmodel.block_in_degrees[t])
     if rng.random() < num_blocks / (d_t + num_blocks):
         return random_other()
-    s = blockmodel.sample_neighbor_block(t, rng)
+    s = blockmodel.sample_neighbor_block(t, rng, cumsum_cache)
     if s < 0 or s == block:
         return random_other()
     return int(s)
+
+
+def best_segmented_merges(
+    blockmodel: Blockmodel,
+    segments: Sequence[tuple],
+    targets: Sequence[int],
+) -> List[tuple]:
+    """Score segmented merge candidates in one batch, keep each segment's best.
+
+    ``segments`` is a list of ``(block, start, end)`` half-open ranges tiling
+    ``targets`` in order: segment ``k`` proposes merging ``block`` into each
+    of ``targets[start:end]``.  All candidates are scored with one
+    :func:`delta_dl_for_merges` call; per segment the first minimum wins
+    (``np.argmin`` keeps the first of equal minima, matching the reference
+    paths' strict ``<`` update).  Returns ``(block, target, delta_dl)``
+    triples for every non-empty segment — used by the batched
+    :func:`propose_merges` and the DC-SBP combine step alike.
+    """
+    targets_arr = np.asarray(targets, dtype=np.int64)
+    blocks_arr = np.asarray([seg[0] for seg in segments], dtype=np.int64)
+    lengths = np.asarray([seg[2] - seg[1] for seg in segments], dtype=np.int64)
+    from_blocks = np.repeat(blocks_arr, lengths)
+    deltas = delta_dl_for_merges(blockmodel, from_blocks, targets_arr)
+    best: List[tuple] = []
+    for block, start, end in segments:
+        if start == end:
+            continue
+        k = start + int(np.argmin(deltas[start:end]))
+        best.append((block, int(targets_arr[k]), float(deltas[k])))
+    return best
 
 
 def propose_merges(
@@ -77,8 +116,15 @@ def propose_merges(
 ) -> List[MergeProposal]:
     """Best merge proposal for each of the given blocks (Alg. 1 lines 2-10).
 
-    Empty blocks are skipped (nothing to merge).
+    Empty blocks are skipped (nothing to merge).  On a batched backend
+    (``matrix_backend="csr"``) the candidate targets are drawn first — in
+    the same RNG order as the per-proposal reference path — and all of them
+    are scored with one whole-batch :func:`delta_dl_for_merges` call; the
+    deltas are bit-identical to the per-proposal path, so both backends
+    select the same merges under the same seed.
     """
+    if hasattr(blockmodel.matrix, "row_array"):
+        return _propose_merges_batched(blockmodel, blocks, config, rng)
     proposals: List[MergeProposal] = []
     sizes = blockmodel.block_sizes
     for block in blocks:
@@ -96,8 +142,44 @@ def propose_merges(
                 best_delta = delta
                 best_target = target
         if best_target >= 0:
-            proposals.append(MergeProposal(block, best_target, best_delta))
+            proposals.append(MergeProposal(block, best_target, float(best_delta)))
     return proposals
+
+
+def _propose_merges_batched(
+    blockmodel: Blockmodel,
+    blocks: Iterable[int],
+    config: SBPConfig,
+    rng: np.random.Generator,
+) -> List[MergeProposal]:
+    """Batched-backend :func:`propose_merges`: draw all targets, score once.
+
+    Proposal drawing consumes the RNG stream exactly like the reference
+    path (per block, per proposal); only the ΔDL evaluation is batched,
+    through :func:`best_segmented_merges` (whose tie-breaking matches the
+    reference path's strict ``<`` update).
+    """
+    sizes = blockmodel.block_sizes
+    cumsum_cache: dict = {}
+    cand_targets: List[int] = []
+    segments: List[tuple] = []  # (block, start, end) into cand_targets
+    for block in blocks:
+        block = int(block)
+        if sizes[block] <= 0:
+            continue
+        start = len(cand_targets)
+        for _ in range(config.merge_proposals_per_block):
+            target = _propose_merge_target(blockmodel, block, rng, cumsum_cache)
+            if target == block:
+                continue
+            cand_targets.append(target)
+        segments.append((block, start, len(cand_targets)))
+    if not cand_targets:
+        return []
+    return [
+        MergeProposal(block, target, delta)
+        for block, target, delta in best_segmented_merges(blockmodel, segments, cand_targets)
+    ]
 
 
 def select_and_apply_merges(

@@ -1,0 +1,38 @@
+"""Golden-file regression partitions for two small SBM graphs.
+
+Both backends must reproduce the committed partition exactly — block count,
+assignment, and description length (stored as ``float.hex`` and compared
+bitwise).  This pins the whole pipeline (proposal streams, merge selections,
+MCMC acceptance, golden-ratio bracketing) against unintended drift.
+
+To regenerate after an *intentional* behaviour change::
+
+    PYTHONPATH=src python tests/differential/regenerate_golden.py
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.testing.differential import golden_record, run_backend_pair, run_sequential
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: golden-file stem -> conftest graph fixture name
+CASES = {"sbm-a": "diff_graph_a", "sbm-b": "diff_graph_b"}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_both_backends_match_golden_partition(name, request, diff_config):
+    graph = request.getfixturevalue(CASES[name])
+    golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    reference, candidate = run_backend_pair(run_sequential, graph, diff_config)
+    for backend, result in (("dict", reference), ("csr", candidate)):
+        record = golden_record(result)
+        assert record["num_blocks"] == golden["num_blocks"], f"{backend}: block count drifted"
+        assert record["description_length_hex"] == golden["description_length_hex"], (
+            f"{backend}: description length drifted "
+            f"({record['description_length_hex']} != {golden['description_length_hex']})"
+        )
+        assert record["assignment"] == golden["assignment"], f"{backend}: partition drifted"
