@@ -7,37 +7,46 @@ loses accuracy — its round-robin data distribution strands more and more
 island vertices — while EDiSt, which replicates the graph and synchronises
 blockmodels with all-gathers, keeps the single-node accuracy.
 
+The comparison is exactly what the strategy registry exists for: the same
+graph and config dispatched under ``strategy="dcsbp"`` and
+``strategy="edist"`` through one :func:`repro.partition` call.
+
 Run with::
 
     python examples/distributed_comparison.py [graph_id] [scale]
 
 e.g. ``python examples/distributed_comparison.py FTT33 0.05`` for the sparse
-failure mode or ``TTT33 0.05`` (default) for the dense one.
+failure mode or ``TTT33 0.05`` (default) for the dense one.  Set
+``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
+import os
 import sys
 
-from repro import SBPConfig, divide_and_conquer_sbp, edist, parameter_sweep_graph, stochastic_block_partition
+from repro import partition, parameter_sweep_graph
 from repro.harness import format_table
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
 
 
 def main() -> None:
     graph_id = sys.argv[1] if len(sys.argv) > 1 else "TTT33"
-    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.05
+    default_scale = 0.03 if SMOKE else 0.05
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else default_scale
+    rank_grid = (2, 4) if SMOKE else (2, 4, 8, 16)
     graph = parameter_sweep_graph(graph_id, scale=scale, seed=5)
-    config = SBPConfig.fast(seed=11)
 
     print(f"Graph {graph_id}: V={graph.num_vertices} E={graph.num_edges} "
           f"average degree {graph.average_degree:.1f}")
 
-    baseline = stochastic_block_partition(graph, config)
+    baseline = partition(graph, strategy="sequential", config="fast", seed=11)
     print(f"Shared-memory baseline (1 rank): NMI={baseline.nmi():.2f}, "
           f"{baseline.num_communities} communities\n")
 
     rows = []
-    for num_ranks in (2, 4, 8, 16):
-        dc = divide_and_conquer_sbp(graph, num_ranks, config)
-        ed = edist(graph, num_ranks, config)
+    for num_ranks in rank_grid:
+        dc = partition(graph, strategy="dcsbp", config="fast", seed=11, num_ranks=num_ranks)
+        ed = partition(graph, strategy="edist", config="fast", seed=11, num_ranks=num_ranks)
         rows.append(
             {
                 "ranks": num_ranks,

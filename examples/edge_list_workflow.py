@@ -1,31 +1,42 @@
 #!/usr/bin/env python3
-"""Full workflow on a user-supplied edge list.
+"""Full workflow on a user-supplied edge list, including result persistence.
 
 Shows the I/O path a downstream user of the library would take with their own
 data: write/read a Graph-Challenge-style TSV edge list (plus optional ground
-truth), run EDiSt, evaluate, and save the detected communities back to disk.
+truth), partition it with EDiSt through the :func:`repro.partition` facade,
+evaluate, persist the full :class:`~repro.core.results.SBPResult` as JSON,
+and prove the reload reproduces the run's metrics exactly.
 
 Run with::
 
     python examples/edge_list_workflow.py [path/to/edges.tsv]
 
 Without an argument, a demonstration graph is generated and written to a
-temporary directory first, so the script is runnable out of the box.
+temporary directory first, so the script is runnable out of the box.  Set
+``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
+import os
 import sys
 import tempfile
 from pathlib import Path
 
-from repro import SBPConfig, edist
+from repro import SBPResult, partition
 from repro.evaluation import compare_partitions
 from repro.graphs.generators import DCSBMSpec, generate_dcsbm_graph
 from repro.graphs.io import load_edge_list, save_edge_list, save_truth_file
 
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+
 
 def make_demo_files(directory: Path) -> tuple:
     """Generate a small DCSBM graph and persist it as TSV files."""
-    spec = DCSBMSpec(num_vertices=400, num_communities=6, intra_inter_ratio=3.0, name="demo")
+    spec = DCSBMSpec(
+        num_vertices=200 if SMOKE else 400,
+        num_communities=6,
+        intra_inter_ratio=3.0,
+        name="demo",
+    )
     graph = generate_dcsbm_graph(spec, seed=1)
     edge_path = directory / "demo_edges.tsv"
     truth_path = directory / "demo_truth.tsv"
@@ -45,8 +56,9 @@ def main() -> None:
     graph = load_edge_list(edge_path, truth_path=truth_path, name=edge_path.stem)
     print(f"Loaded {graph.name}: V={graph.num_vertices} E={graph.num_edges}")
 
-    result = edist(graph, num_ranks=4, config=SBPConfig.fast(seed=7))
-    print(f"EDiSt (4 ranks) found {result.num_communities} communities, "
+    result = partition(graph, strategy="edist", config="fast", seed=7,
+                       num_ranks=2 if SMOKE else 4)
+    print(f"EDiSt ({result.num_ranks} ranks) found {result.num_communities} communities, "
           f"DL_norm={result.dl_norm():.3f}")
 
     if graph.true_assignment is not None:
@@ -54,9 +66,19 @@ def main() -> None:
         print(f"Against ground truth: NMI={comparison.nmi:.3f}, ARI={comparison.ari:.3f}, "
               f"pairwise F1={comparison.f1:.3f}")
 
+    # Persist the detected communities (TSV, for interchange) and the full
+    # result object (JSON, for exact reloading).
     out_path = edge_path.with_name(edge_path.stem + "_communities.tsv")
     save_truth_file(result.assignment, out_path)
+    result_path = edge_path.with_name(edge_path.stem + "_result.json")
+    result.save(result_path)
+    reloaded = SBPResult.load(result_path)
+    assert reloaded.description_length == result.description_length
+    assert (reloaded.assignment == result.assignment).all()
     print(f"Detected communities written to {out_path}")
+    print(f"Full result persisted to {result_path} "
+          f"(reload verified: DL={reloaded.description_length:.1f}, "
+          f"{len(reloaded.history)} history records)")
 
 
 if __name__ == "__main__":

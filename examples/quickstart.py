@@ -1,38 +1,58 @@
 #!/usr/bin/env python3
-"""Quickstart: run sequential SBP on a Graph-Challenge-style graph.
+"""Quickstart: partition a Graph-Challenge-style graph with the public API.
 
 This walks through the paper's Fig. 1 pipeline on a small synthetic graph:
 generate a degree-corrected SBM graph with planted communities, run
-stochastic block partitioning, and inspect how the agglomerative search
-(block-merge + MCMC cycles under the golden-ratio search) converges on the
-right number of communities.
+stochastic block partitioning through the :func:`repro.partition` facade,
+and watch the agglomerative search (block-merge + MCMC cycles under the
+golden-ratio search) converge on the right number of communities via a
+run-lifecycle observer.
 
 Run with::
 
     python examples/quickstart.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` (as ``scripts/verify.sh --examples`` does) to
+run a further scaled-down configuration suitable for CI.
 """
 
-from repro import SBPConfig, challenge_graph, stochastic_block_partition
+import os
+
+from repro import RunObserver, partition
 from repro.blockmodel import Blockmodel
+from repro.graphs.generators import challenge_graph
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
+
+
+class SearchProgress(RunObserver):
+    """Print one line per agglomerative cycle as the search runs."""
+
+    def __init__(self) -> None:
+        self.cycles = 0
+
+    def on_cycle(self, event) -> None:
+        self.cycles += 1
+        target = (event.search_state or {}).get("target_blocks", "-")
+        print(f"  cycle {event.cycle:>2}: B={event.num_blocks:>4}  DL={event.description_length:>12.1f}  "
+              f"sweeps={event.mcmc_sweeps:>2}  next target B={target}")
 
 
 def main() -> None:
     # A scaled-down version of the Graph Challenge "20k-hard" dataset
     # (high community overlap, high block-size variation — the difficult case).
-    graph = challenge_graph("20k-hard", scale=0.03, seed=0)
+    graph = challenge_graph("20k-hard", scale=0.015 if SMOKE else 0.03, seed=0)
     print(f"Graph: {graph.name}  V={graph.num_vertices}  E={graph.num_edges}  "
           f"planted communities={len(set(graph.true_assignment.tolist()))}")
 
-    config = SBPConfig.fast(seed=42)
-    result = stochastic_block_partition(graph, config)
-
     print("\nAgglomerative search trajectory (paper Fig. 1):")
-    print(f"  {'cycle':>5}  {'blocks':>6}  {'description length':>20}  {'MCMC sweeps':>11}")
-    for record in result.history:
-        print(f"  {record.iteration:>5}  {record.num_blocks:>6}  {record.description_length:>20.1f}  {record.mcmc_sweeps:>11}")
+    progress = SearchProgress()
+    result = partition(graph, strategy="sequential", config="fast", seed=42,
+                       observers=[progress])
 
     truth_dl = Blockmodel.from_assignment(graph, graph.true_assignment, relabel=True).description_length()
     print("\nResult:")
+    print(f"  observed cycles   : {progress.cycles} (history records: {len(result.history)})")
     print(f"  communities found : {result.num_communities}")
     print(f"  NMI vs planted    : {result.nmi():.3f}")
     print(f"  description length: {result.description_length:.1f} (planted truth: {truth_dl:.1f})")

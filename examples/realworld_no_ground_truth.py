@@ -6,34 +6,44 @@ communities, so result quality is measured with the *normalised description
 length* ``DL_norm = DL / DL_null`` (lower is better; 1.0 means the model
 explains nothing beyond a single giant community).
 
-This example runs DC-SBP and EDiSt on a structural stand-in for the Amazon
-co-purchasing graph and reports DL_norm per rank count, plus the modelled
-cluster runtime from the harness's α-β cost model.
+This example sweeps both distributed strategies over a rank grid using one
+reusable :class:`repro.Partitioner` per strategy — the facade's object form,
+convenient when the same (strategy, config) runs against many inputs — on a
+structural stand-in for the Amazon co-purchasing graph, and reports DL_norm
+per rank count plus the modelled cluster runtime from the harness's α-β cost
+model.
 
 Run with::
 
     python examples/realworld_no_ground_truth.py
+
+Set ``REPRO_EXAMPLES_SMOKE=1`` for the scaled-down CI configuration.
 """
 
-from repro import SBPConfig, divide_and_conquer_sbp, edist, realworld_graph
+import os
+
+from repro import Partitioner, realworld_graph
 from repro.harness import RuntimeModelParams, format_table, modeled_runtime
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE") == "1"
 
 
 def main() -> None:
-    graph = realworld_graph("amazon", scale=0.002, seed=3)
-    config = SBPConfig.fast(seed=17)
+    graph = realworld_graph("amazon", scale=0.001 if SMOKE else 0.002, seed=3)
     params = RuntimeModelParams(tasks_per_node=4)
+    rank_grid = (1, 4) if SMOKE else (1, 4, 8)
 
     print(f"Amazon stand-in: V={graph.num_vertices} E={graph.num_edges} "
           f"(original: V=403,394 E=3,387,388) — no ground truth available")
 
     rows = []
-    for algorithm, runner in (("dcsbp", divide_and_conquer_sbp), ("edist", edist)):
-        for num_ranks in (1, 4, 8):
-            result = runner(graph, num_ranks, config) if num_ranks > 1 else runner(graph, 1, config)
+    for strategy in ("dcsbp", "edist"):
+        for num_ranks in rank_grid:
+            runner = Partitioner(strategy=strategy, config="fast", seed=17, num_ranks=num_ranks)
+            result = runner.run(graph)
             rows.append(
                 {
-                    "algorithm": algorithm,
+                    "algorithm": strategy,
                     "ranks": num_ranks,
                     "communities": result.num_communities,
                     "dl_norm": round(result.dl_norm(), 4),

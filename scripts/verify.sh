@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: fast-fail lint, then the full test suite.
 #
-# Usage:  scripts/verify.sh [--differential] [extra pytest args]
+# Usage:  scripts/verify.sh [--differential | --examples] [extra pytest args]
 #
 # This is the single command builders gate on (see ROADMAP.md).  The
 # compileall step catches syntax/import-level breakage in seconds before
@@ -10,8 +10,13 @@
 #
 #   --differential   run only the cross-backend differential suite
 #                    (tests/differential/): dict vs csr bit-identity
-#                    through sequential SBP, DC-SBP and EDiSt, plus the
-#                    golden-file regression partitions.
+#                    through sequential SBP, DC-SBP and EDiSt, golden-file
+#                    regression partitions, and old→new API equivalence.
+#
+#   --examples       run every examples/*.py in scaled-down smoke mode
+#                    (REPRO_EXAMPLES_SMOKE=1), so breakage of the public
+#                    API surface the examples exercise is caught by the
+#                    tier-1 gate.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +28,16 @@ if [[ "${1:-}" == "--differential" ]]; then
     shift
     echo "== differential: python -m pytest -x -q tests/differential =="
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q tests/differential "$@"
+    exit 0
+fi
+
+if [[ "${1:-}" == "--examples" ]]; then
+    shift
+    for example in examples/*.py; do
+        echo "== example (smoke): python ${example} =="
+        REPRO_EXAMPLES_SMOKE=1 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python "$example"
+    done
+    echo "== all examples passed =="
     exit 0
 fi
 

@@ -1,0 +1,70 @@
+"""repro.api — the unified public API for every partitioning strategy.
+
+The stable surface downstream callers (the harness, benchmarks, examples,
+and future serving layers) program against:
+
+* :func:`partition` / :class:`Partitioner` — one entry point dispatching
+  through the strategy registry;
+* :func:`register_strategy` / :func:`get_strategy` /
+  :func:`available_strategies` — the registry itself (new strategies are a
+  registry entry, not a new driver function);
+* :class:`RunHandle`, :class:`RunObserver`, :class:`RunContext` and the
+  event types — the run-lifecycle layer (observer callbacks, wall-clock
+  timeouts, cooperative cancellation);
+* config presets (:func:`config_preset`, :func:`register_config_preset`,
+  :func:`available_presets`) and the serializable
+  :class:`SBPConfig` / :class:`SBPResult` pair.
+
+Importing this package registers the built-in strategies
+(``"sequential"``, ``"dcsbp"``, ``"edist"``, ``"reference_dcsbp"``).
+"""
+
+from repro.api.registry import (
+    Strategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    unregister_strategy,
+)
+from repro.api import strategies as _builtin_strategies  # noqa: F401 - registers built-ins
+from repro.api.handle import RunHandle
+from repro.api.facade import ConfigLike, Partitioner, partition, resolve_config
+from repro.core.config import (
+    SBPConfig,
+    available_presets,
+    config_preset,
+    register_config_preset,
+)
+from repro.core.context import (
+    CycleEvent,
+    MCMCSweepEvent,
+    MergePhaseEvent,
+    RunCancelled,
+    RunContext,
+    RunObserver,
+)
+from repro.core.results import SBPResult
+
+__all__ = [
+    "partition",
+    "Partitioner",
+    "RunHandle",
+    "Strategy",
+    "register_strategy",
+    "unregister_strategy",
+    "get_strategy",
+    "available_strategies",
+    "resolve_config",
+    "ConfigLike",
+    "SBPConfig",
+    "SBPResult",
+    "register_config_preset",
+    "config_preset",
+    "available_presets",
+    "RunContext",
+    "RunObserver",
+    "RunCancelled",
+    "CycleEvent",
+    "MergePhaseEvent",
+    "MCMCSweepEvent",
+]

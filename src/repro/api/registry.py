@@ -1,0 +1,125 @@
+"""The strategy registry: one stable dispatch point for every partitioner.
+
+The paper's whole evaluation is a "same algorithm, different distribution
+strategy" experiment; the registry makes that the shape of the public API.
+A *strategy* is any object implementing the :class:`Strategy` protocol —
+``run(graph, config, *, num_ranks, run_context) -> SBPResult`` — registered
+under a stable name with :func:`register_strategy`.  The built-in strategies
+(``"sequential"``, ``"dcsbp"``, ``"edist"``, ``"reference_dcsbp"``) are
+registered by :mod:`repro.api.strategies`; new backends, serving loops, or
+experimental variants add a registry entry instead of a fifth bespoke driver
+function.
+
+Lookups go through :func:`get_strategy`, which resolves aliases (the legacy
+harness spellings ``"sbp"`` and ``"reference-dcsbp"`` remain valid) and
+raises a :class:`ValueError` listing the registry on an unknown name —
+never a deep, late ``KeyError``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, Union, runtime_checkable
+
+from repro.core.config import SBPConfig
+from repro.core.context import RunContext
+from repro.core.results import SBPResult
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "Strategy",
+    "register_strategy",
+    "unregister_strategy",
+    "get_strategy",
+    "available_strategies",
+]
+
+
+@runtime_checkable
+class Strategy(Protocol):
+    """What the facade requires of a partitioning strategy.
+
+    ``name`` is the canonical registry key; ``run`` executes one partition.
+    Strategies must treat ``config`` as the complete parameterisation (no
+    hidden state) so that runs are reproducible from ``(graph, config)``
+    alone, and must honour the :class:`~repro.core.context.RunContext`
+    contract: emit phase-boundary events and stop cooperatively.
+    """
+
+    name: str
+
+    def run(
+        self,
+        graph: Graph,
+        config: SBPConfig,
+        *,
+        num_ranks: int = 1,
+        run_context: Optional[RunContext] = None,
+    ) -> SBPResult: ...
+
+
+_STRATEGIES: Dict[str, Strategy] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_strategy(
+    name: str,
+    *,
+    aliases: Tuple[str, ...] = (),
+) -> Callable:
+    """Class/instance decorator registering a strategy under ``name``.
+
+    Decorating a class instantiates it (strategies are stateless
+    dispatchers); decorating an instance registers it as-is.  Re-registering
+    a name replaces the previous entry, which lets tests and downstream code
+    shadow a built-in.  The decorated object is returned unchanged.
+    """
+
+    def _register(obj):
+        strategy = obj() if isinstance(obj, type) else obj
+        if not callable(getattr(strategy, "run", None)):
+            raise TypeError(
+                f"strategy {name!r} must provide a callable .run(graph, config, ...) method"
+            )
+        # Fill in .name only when the strategy doesn't carry one; an object
+        # re-registered under a second name keeps its canonical identity
+        # (dispatch and result labels stay truthful).
+        if getattr(strategy, "name", None) is None:
+            strategy.name = name
+        _STRATEGIES[name] = strategy
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return obj
+
+    return _register
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a strategy (and any aliases pointing at it) from the registry."""
+    _STRATEGIES.pop(name, None)
+    for alias, target in list(_ALIASES.items()):
+        if target == name:
+            del _ALIASES[alias]
+
+
+def available_strategies() -> List[str]:
+    """Sorted canonical names of every registered strategy."""
+    return sorted(_STRATEGIES)
+
+
+def get_strategy(name: Union[str, Strategy]) -> Strategy:
+    """Resolve a strategy name (or alias, or strategy instance) to a strategy.
+
+    Unknown names raise a :class:`ValueError` listing the valid registry
+    keys, mirroring the config-time validation of ``mcmc_variant`` and
+    ``matrix_backend``.
+    """
+    if not isinstance(name, str):
+        if isinstance(name, Strategy):
+            return name
+        raise TypeError(f"strategy must be a name or Strategy instance, got {type(name).__name__}")
+    canonical = _ALIASES.get(name, name)
+    if canonical not in _STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {name!r}; available strategies: {available_strategies()}"
+        )
+    return _STRATEGIES[canonical]

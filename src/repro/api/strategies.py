@@ -1,0 +1,106 @@
+"""The built-in strategies: the paper's three algorithms plus the Table VI
+reference implementation, registered behind the stable names the facade,
+harness, benchmarks, and examples dispatch on.
+
+Each strategy is a thin adapter from the uniform
+``run(graph, config, *, num_ranks, run_context)`` protocol onto the core
+driver, so the drivers keep their precise internal signatures (initial
+blockmodels, rng registries, algorithm labels) while the public surface
+stays uniform.  Under a fixed seed a strategy's result is bit-identical to
+calling the underlying driver directly — the adapters add no RNG draws and
+no algorithmic behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.registry import register_strategy
+from repro.core.config import SBPConfig
+from repro.core.context import RunContext
+from repro.core.dcsbp import divide_and_conquer_sbp
+from repro.core.edist import edist
+from repro.core.reference import reference_dcsbp
+from repro.core.results import SBPResult
+from repro.core.sbp import stochastic_block_partition
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "SequentialStrategy",
+    "DCSBPStrategy",
+    "EDiStStrategy",
+    "ReferenceDCSBPStrategy",
+]
+
+
+@register_strategy("sequential", aliases=("sbp",))
+class SequentialStrategy:
+    """Sequential / shared-memory SBP (the paper's single-node baseline)."""
+
+    name = "sequential"
+
+    def run(
+        self,
+        graph: Graph,
+        config: SBPConfig,
+        *,
+        num_ranks: int = 1,
+        run_context: Optional[RunContext] = None,
+    ) -> SBPResult:
+        if num_ranks != 1:
+            raise ValueError(
+                f"the sequential strategy runs on one rank (got num_ranks={num_ranks}); "
+                "use 'dcsbp' or 'edist' for distributed runs"
+            )
+        return stochastic_block_partition(graph, config, run_context=run_context)
+
+
+@register_strategy("dcsbp")
+class DCSBPStrategy:
+    """Divide-and-conquer SBP (Uppal et al., paper Alg. 3) over simulated ranks."""
+
+    name = "dcsbp"
+
+    def run(
+        self,
+        graph: Graph,
+        config: SBPConfig,
+        *,
+        num_ranks: int = 1,
+        run_context: Optional[RunContext] = None,
+    ) -> SBPResult:
+        return divide_and_conquer_sbp(graph, num_ranks, config, run_context=run_context)
+
+
+@register_strategy("edist")
+class EDiStStrategy:
+    """EDiSt — exact distributed SBP (the paper's contribution, Algs. 4-5)."""
+
+    name = "edist"
+
+    def run(
+        self,
+        graph: Graph,
+        config: SBPConfig,
+        *,
+        num_ranks: int = 1,
+        run_context: Optional[RunContext] = None,
+    ) -> SBPResult:
+        return edist(graph, num_ranks, config, run_context=run_context)
+
+
+@register_strategy("reference_dcsbp", aliases=("reference-dcsbp",))
+class ReferenceDCSBPStrategy:
+    """DC-SBP with the unoptimised batch-parallel MCMC (paper Table VI)."""
+
+    name = "reference_dcsbp"
+
+    def run(
+        self,
+        graph: Graph,
+        config: SBPConfig,
+        *,
+        num_ranks: int = 1,
+        run_context: Optional[RunContext] = None,
+    ) -> SBPResult:
+        return reference_dcsbp(graph, num_ranks, config, run_context=run_context)

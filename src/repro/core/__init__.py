@@ -13,7 +13,21 @@ Public entry points
 All three return an :class:`~repro.core.results.SBPResult`.
 """
 
-from repro.core.config import MCMCVariant, SBPConfig
+from repro.core.config import (
+    MCMCVariant,
+    SBPConfig,
+    available_presets,
+    config_preset,
+    register_config_preset,
+)
+from repro.core.context import (
+    CycleEvent,
+    MCMCSweepEvent,
+    MergePhaseEvent,
+    RunCancelled,
+    RunContext,
+    RunObserver,
+)
 from repro.core.results import IterationRecord, SBPResult
 from repro.core.sbp import stochastic_block_partition
 from repro.core.dcsbp import divide_and_conquer_sbp, dcsbp_rank_program, merge_partial_pair, PartialResult
@@ -27,6 +41,15 @@ from repro.core.hybrid_mcmc import hybrid_sweep, batch_gibbs_sweep
 __all__ = [
     "SBPConfig",
     "MCMCVariant",
+    "register_config_preset",
+    "config_preset",
+    "available_presets",
+    "RunContext",
+    "RunObserver",
+    "RunCancelled",
+    "CycleEvent",
+    "MergePhaseEvent",
+    "MCMCSweepEvent",
     "SBPResult",
     "IterationRecord",
     "stochastic_block_partition",

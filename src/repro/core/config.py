@@ -8,12 +8,19 @@ the paper's comparisons are set up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Callable, Dict, Optional
 
 from repro.blockmodel.blockmodel import MATRIX_BACKENDS
 
-__all__ = ["SBPConfig", "MCMCVariant", "MatrixBackend"]
+__all__ = [
+    "SBPConfig",
+    "MCMCVariant",
+    "MatrixBackend",
+    "register_config_preset",
+    "config_preset",
+    "available_presets",
+]
 
 
 class MCMCVariant:
@@ -128,7 +135,9 @@ class SBPConfig:
         if self.min_blocks < 1:
             raise ValueError("min_blocks must be at least 1")
         if self.mcmc_variant not in MCMCVariant.ALL:
-            raise ValueError(f"unknown mcmc_variant {self.mcmc_variant!r}")
+            raise ValueError(
+                f"unknown mcmc_variant {self.mcmc_variant!r}; expected one of {MCMCVariant.ALL}"
+            )
         if self.matrix_backend not in MatrixBackend.ALL:
             raise ValueError(
                 f"unknown matrix_backend {self.matrix_backend!r}; expected one of {MatrixBackend.ALL}"
@@ -148,7 +157,46 @@ class SBPConfig:
 
     def with_overrides(self, **kwargs) -> "SBPConfig":
         """Return a copy with the given fields replaced."""
+        unknown = set(kwargs) - {f.name for f in fields(self)}
+        if unknown:
+            raise ValueError(
+                f"unknown SBPConfig field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(f.name for f in fields(self))}"
+            )
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict of every field; inverse of :meth:`from_dict`."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SBPConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise (listing the valid field names) rather than being
+        silently dropped, so stale or typo'd persisted configs surface
+        immediately.
+        """
+        valid = {f.name for f in fields(cls)}
+        unknown = set(data) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown SBPConfig field(s) {sorted(unknown)}; valid fields: {sorted(valid)}"
+            )
+        return cls(**data)
+
+    @classmethod
+    def from_preset(cls, name: str, seed: Optional[int] = None, **overrides) -> "SBPConfig":
+        """Instantiate a registered preset (see :func:`config_preset`)."""
+        config = config_preset(name)
+        if seed is not None:
+            config = config.with_seed(seed)
+        if overrides:
+            config = config.with_overrides(**overrides)
+        return config
 
     @classmethod
     def fast(cls, seed: Optional[int] = None) -> "SBPConfig":
@@ -164,3 +212,51 @@ class SBPConfig:
             mcmc_convergence_threshold=5e-4,
             seed=seed,
         )
+
+
+# ----------------------------------------------------------------------
+# Preset registry
+# ----------------------------------------------------------------------
+#: Named configuration presets.  Factories (not instances) are stored so that
+#: every lookup returns a fresh config and mutable-default pitfalls cannot
+#: arise; user code extends the registry via :func:`register_config_preset`.
+_CONFIG_PRESETS: Dict[str, Callable[[], SBPConfig]] = {}
+
+
+def register_config_preset(name: str, factory: Callable[[], SBPConfig]) -> None:
+    """Register (or replace) a named :class:`SBPConfig` preset.
+
+    The factory is validated eagerly — it must return an :class:`SBPConfig`
+    — so a bad registration fails at registration time, not at first use.
+    """
+    produced = factory()
+    if not isinstance(produced, SBPConfig):
+        raise TypeError(
+            f"preset factory for {name!r} must return an SBPConfig, got {type(produced).__name__}"
+        )
+    _CONFIG_PRESETS[str(name)] = factory
+
+
+def available_presets() -> list:
+    """Sorted names of every registered configuration preset."""
+    return sorted(_CONFIG_PRESETS)
+
+
+def config_preset(name: str) -> SBPConfig:
+    """Instantiate the preset registered under ``name``.
+
+    Unknown names raise a :class:`ValueError` listing the registry, the same
+    convention as strategy and backend lookups.
+    """
+    if name not in _CONFIG_PRESETS:
+        raise ValueError(
+            f"unknown config preset {name!r}; available presets: {available_presets()}"
+        )
+    return _CONFIG_PRESETS[name]()
+
+
+#: ``"paper"`` is the Graph Challenge reference parameterisation (the library
+#: defaults); ``"fast"`` is the quick test/benchmark tuning of
+#: :meth:`SBPConfig.fast`.
+register_config_preset("paper", SBPConfig)
+register_config_preset("fast", SBPConfig.fast)

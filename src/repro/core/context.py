@@ -1,0 +1,303 @@
+"""Run-lifecycle layer shared by every SBP driver.
+
+A :class:`RunContext` travels with a run through the block-merge / MCMC
+cycles and carries three concerns that used to be impossible to express
+through the ad-hoc driver functions:
+
+* **observation** — registered :class:`RunObserver` callbacks fire at every
+  phase boundary (``on_merge_phase`` after a block-merge phase,
+  ``on_mcmc_sweep`` after every MCMC sweep, ``on_cycle`` after each outer
+  agglomerative cycle), receiving typed event objects that mirror the
+  :class:`~repro.core.results.IterationRecord` history entries;
+* **cooperative cancellation** — anyone holding the context (typically an
+  observer, via ``event.context.cancel()``, or a
+  :class:`~repro.api.handle.RunHandle`) can request a stop; the drivers
+  check :meth:`RunContext.should_stop` at phase boundaries and wind down
+  gracefully, returning a well-formed partial
+  :class:`~repro.core.results.SBPResult` built from the best state seen;
+* **wall-clock timeout** — a ``timeout`` behaves exactly like an external
+  cancellation that fires once the deadline passes.
+
+The distributed drivers share one context across every simulated MPI rank:
+only rank 0 emits events (so callback counts match the single history that
+ends up in the result), and stop decisions are broadcast from rank 0 so the
+replicated control flow stays in lockstep.  Rank programs obtain the
+event-silent view for the other ranks via :meth:`RunContext.silent`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "RunCancelled",
+    "RunObserver",
+    "CycleEvent",
+    "MergePhaseEvent",
+    "MCMCSweepEvent",
+    "RunContext",
+]
+
+
+class RunCancelled(Exception):
+    """Raised by :meth:`RunContext.raise_if_stopped` when a run was stopped.
+
+    The drivers themselves never raise this — they stop cooperatively and
+    return a partial result — but strict callers can use it to turn a
+    stopped run into an exception.
+    """
+
+
+@dataclass
+class CycleEvent:
+    """One completed outer (block-merge + MCMC) agglomerative cycle."""
+
+    context: "RunContext"
+    cycle: int
+    num_blocks: int
+    description_length: float
+    mcmc_sweeps: int
+    accepted_moves: int
+    #: Golden-ratio search state after this cycle was folded in (see
+    #: :meth:`RunContext.note_search_state`); ``None`` for drivers that do
+    #: not run the search.
+    search_state: Optional[Dict[str, object]] = None
+
+
+@dataclass
+class MergePhaseEvent:
+    """One completed block-merge phase (paper Alg. 1 / Alg. 4)."""
+
+    context: "RunContext"
+    cycle: int
+    num_blocks_before: int
+    num_blocks_after: int
+    num_merges_requested: int
+
+
+@dataclass
+class MCMCSweepEvent:
+    """One completed MCMC sweep (one pass over the vertices, Alg. 2/5)."""
+
+    context: "RunContext"
+    sweep: int
+    accepted_moves: int
+    proposed_moves: int
+    delta_dl: float
+
+
+class RunObserver:
+    """Base class for run observers; override any subset of the hooks.
+
+    All hooks are no-ops by default, so subclasses only implement the
+    boundaries they care about.  Hooks run synchronously on the driver's
+    thread (rank 0 for the distributed strategies); exceptions propagate
+    and abort the run.
+    """
+
+    def on_cycle(self, event: CycleEvent) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_merge_phase(self, event: MergePhaseEvent) -> None:  # pragma: no cover
+        pass
+
+    def on_mcmc_sweep(self, event: MCMCSweepEvent) -> None:  # pragma: no cover
+        pass
+
+
+class RunContext:
+    """Observer dispatch + cooperative stop state for one partitioning run.
+
+    Parameters
+    ----------
+    observers:
+        :class:`RunObserver` instances to notify at phase boundaries.
+    timeout:
+        Wall-clock budget in seconds; once exceeded, :meth:`should_stop`
+        reports ``True`` (with :attr:`stop_reason` ``"timeout"``) at the
+        next phase boundary.  ``None`` disables the deadline.
+    """
+
+    def __init__(
+        self,
+        observers: Iterable[RunObserver] = (),
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.observers: List[RunObserver] = list(observers)
+        self.timeout = timeout
+        #: Armed lazily at the first :meth:`should_stop` call, so the budget
+        #: covers the run itself, not the time a handle sat pending.
+        self._deadline: Optional[float] = None
+        self._stop_reason: Optional[str] = None
+        self._parent: Optional[RunContext] = None
+        self._emit = True
+        self._controllable = False
+        self.event_counts: Dict[str, int] = {"cycle": 0, "merge_phase": 0, "mcmc_sweep": 0}
+        self._last_search_state: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    # Stop state (shared with silent views)
+    # ------------------------------------------------------------------
+    def _root(self) -> "RunContext":
+        return self._parent if self._parent is not None else self
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request a cooperative stop; takes effect at the next boundary."""
+        root = self._root()
+        if root._stop_reason is None:
+            root._stop_reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._root()._stop_reason == "cancelled"
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        """``None`` while running; ``"cancelled"`` or ``"timeout"`` after a stop."""
+        return self._root()._stop_reason
+
+    def should_stop(self) -> bool:
+        """True once the run was cancelled or ran past its deadline."""
+        root = self._root()
+        if root._stop_reason is not None:
+            return True
+        if root.timeout is not None:
+            if root._deadline is None:
+                root._deadline = time.monotonic() + root.timeout
+            if time.monotonic() >= root._deadline:
+                root._stop_reason = "timeout"
+                return True
+        return False
+
+    def mark_controllable(self) -> None:
+        """Declare that an external holder may cancel this context mid-run.
+
+        Set by :class:`~repro.api.handle.RunHandle`; makes :attr:`live` true
+        so the distributed drivers keep synchronising stop decisions even
+        without observers or a timeout.
+        """
+        self._root()._controllable = True
+
+    @property
+    def live(self) -> bool:
+        """Whether this run can ever be observed or stopped.
+
+        When false (the bare default context), the distributed drivers skip
+        the lifecycle synchronisation traffic entirely, so runs without
+        observers/timeout/handle keep exactly the communication profile the
+        benchmarks model.  Fixed at run start: observers, timeout, and
+        controllability cannot appear mid-run.
+        """
+        root = self._root()
+        return (
+            bool(root.observers)
+            or root.timeout is not None
+            or root._controllable
+            or root._stop_reason is not None
+        )
+
+    def raise_if_stopped(self) -> None:
+        if self.should_stop():
+            raise RunCancelled(self.stop_reason or "cancelled")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def silent(self) -> "RunContext":
+        """A view sharing this context's stop state but emitting no events.
+
+        Handed to non-root ranks and to DC-SBP's per-rank subgraph runs, so
+        cancellation and timeouts reach every worker while observer
+        callbacks fire exactly once per logical phase boundary.
+        """
+        view = RunContext()
+        view._parent = self._root()
+        view._emit = False
+        return view
+
+    # ------------------------------------------------------------------
+    # Event emission (called by the drivers)
+    # ------------------------------------------------------------------
+    def note_search_state(self, state: Dict[str, object]) -> None:
+        """Record the golden-ratio search's latest decision.
+
+        Called by :class:`~repro.core.golden_ratio.GoldenRatioSearch` after
+        every update; the state rides along on the next ``on_cycle`` event.
+        """
+        if self._emit:
+            self._last_search_state = state
+
+    def emit_cycle(
+        self,
+        cycle: int,
+        num_blocks: int,
+        description_length: float,
+        mcmc_sweeps: int,
+        accepted_moves: int,
+    ) -> None:
+        if not self._emit:
+            return
+        self.event_counts["cycle"] += 1
+        if not self.observers:
+            return
+        event = CycleEvent(
+            context=self,
+            cycle=cycle,
+            num_blocks=num_blocks,
+            description_length=description_length,
+            mcmc_sweeps=mcmc_sweeps,
+            accepted_moves=accepted_moves,
+            search_state=self._last_search_state,
+        )
+        for observer in self.observers:
+            observer.on_cycle(event)
+
+    def emit_merge_phase(
+        self,
+        cycle: int,
+        num_blocks_before: int,
+        num_blocks_after: int,
+        num_merges_requested: int,
+    ) -> None:
+        if not self._emit:
+            return
+        self.event_counts["merge_phase"] += 1
+        if not self.observers:
+            return
+        event = MergePhaseEvent(
+            context=self,
+            cycle=cycle,
+            num_blocks_before=num_blocks_before,
+            num_blocks_after=num_blocks_after,
+            num_merges_requested=num_merges_requested,
+        )
+        for observer in self.observers:
+            observer.on_merge_phase(event)
+
+    def emit_mcmc_sweep(
+        self,
+        sweep: int,
+        accepted_moves: int,
+        proposed_moves: int,
+        delta_dl: float,
+    ) -> None:
+        if not self._emit:
+            return
+        self.event_counts["mcmc_sweep"] += 1
+        if not self.observers:
+            return
+        event = MCMCSweepEvent(
+            context=self,
+            sweep=sweep,
+            accepted_moves=accepted_moves,
+            proposed_moves=proposed_moves,
+            delta_dl=delta_dl,
+        )
+        for observer in self.observers:
+            observer.on_mcmc_sweep(event)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = self.stop_reason or "running"
+        return f"RunContext(observers={len(self.observers)}, timeout={self.timeout}, status={status})"

@@ -30,6 +30,7 @@ import numpy as np
 from repro.blockmodel.blockmodel import Blockmodel, resolve_merge_chain
 from repro.blockmodel.deltas import delta_dl_for_merge
 from repro.core.config import SBPConfig
+from repro.core.context import RunContext
 from repro.core.merges import best_segmented_merges
 from repro.core.results import SBPResult
 from repro.core.sbp import stochastic_block_partition
@@ -159,14 +160,26 @@ def merge_partial_pair(
     )
 
 
-def dcsbp_rank_program(comm: Communicator, graph: Graph, config: SBPConfig) -> Optional[dict]:
+def dcsbp_rank_program(
+    comm: Communicator,
+    graph: Graph,
+    config: SBPConfig,
+    run_context: Optional[RunContext] = None,
+) -> Optional[dict]:
     """The per-rank DC-SBP program (paper Alg. 3).
 
     Every rank partitions its round-robin subgraph; the root combines the
     partial results, fine-tunes, and broadcasts the final assignment.  The
     return value (a dict of result pieces) is identical on every rank.
+
+    Observer events fire from the root rank's fine-tuning stage only (whose
+    history becomes the result's history); the per-rank subgraph runs share
+    the context's stop state, so a cancellation or timeout winds down every
+    worker, but they stay event-silent.
     """
     timers = PhaseTimer()
+    root_ctx = run_context or RunContext()
+    event_ctx = root_ctx if comm.rank == 0 else root_ctx.silent()
     rngs = RngRegistry(config.seed).child("dcsbp", comm.rank)
 
     # Line 1-3: independent SBP on the rank's round-robin subgraph.
@@ -177,6 +190,7 @@ def dcsbp_rank_program(comm: Communicator, graph: Graph, config: SBPConfig) -> O
             part.subgraph,
             config.with_seed(rngs.seed_for("subgraph")),
             algorithm_label="dcsbp-subgraph",
+            run_context=root_ctx.silent(),
         )
     partial = PartialResult(
         vertices=part.local_to_global,
@@ -199,6 +213,7 @@ def dcsbp_rank_program(comm: Communicator, graph: Graph, config: SBPConfig) -> O
 
     final_assignment: Optional[np.ndarray] = None
     finetune_cycles = 0
+    finetune_history: list = []
     if comm.rank == 0:
         merge_rng = rngs.get("combine")
         # Lines 14-21: pairwise combination until at most the threshold remain.
@@ -228,9 +243,11 @@ def dcsbp_rank_program(comm: Communicator, graph: Graph, config: SBPConfig) -> O
                 config.with_seed(rngs.seed_for("finetune")),
                 initial_blockmodel=initial,
                 algorithm_label="dcsbp-finetune",
+                run_context=event_ctx,
             )
         final_assignment = fine.assignment
         finetune_cycles = fine.metadata.get("cycles", 0)
+        finetune_history = fine.history
 
     if comm.size > 1:
         final_assignment = comm.bcast(final_assignment, root=0)
@@ -243,6 +260,8 @@ def dcsbp_rank_program(comm: Communicator, graph: Graph, config: SBPConfig) -> O
         "phase_seconds": timers.as_dict(),
         "num_island_vertices": island_total,
         "finetune_cycles": finetune_cycles,
+        "history": finetune_history,
+        "stopped": root_ctx.stop_reason,
         "rank": comm.rank,
     }
 
@@ -251,12 +270,13 @@ def divide_and_conquer_sbp(
     graph: Graph,
     num_ranks: int,
     config: Optional[SBPConfig] = None,
+    run_context: Optional[RunContext] = None,
 ) -> SBPResult:
     """Run DC-SBP over ``num_ranks`` simulated MPI ranks and collect the result."""
     config = config or SBPConfig()
     total = Timer()
     total.start()
-    run = run_distributed(num_ranks, dcsbp_rank_program, graph, config)
+    run = run_distributed(num_ranks, dcsbp_rank_program, graph, config, run_context=run_context)
     total.stop()
 
     root = run.results[0]
@@ -278,10 +298,13 @@ def divide_and_conquer_sbp(
         num_ranks=num_ranks,
         runtime_seconds=total.elapsed,
         phase_seconds=phase_totals,
+        history=root["history"],
         comm_stats=CommStats.aggregate(run.comm_stats),
         metadata={
             "per_rank_phase_seconds": per_rank_phases,
             "num_island_vertices": root["num_island_vertices"],
             "island_fraction": root["num_island_vertices"] / max(graph.num_vertices, 1),
+            "finetune_cycles": root["finetune_cycles"],
+            **({"stopped": root["stopped"]} if root.get("stopped") else {}),
         },
     )

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.blockmodel.blockmodel import Blockmodel
+from repro.core.context import RunContext
 
 __all__ = ["TripletEntry", "GoldenRatioSearch", "SearchDecision"]
 
@@ -59,11 +60,17 @@ class SearchDecision:
 class GoldenRatioSearch:
     """Bracketed search over block counts, mirroring the reference SBP."""
 
-    def __init__(self, reduction_rate: float = 0.5, min_blocks: int = 1) -> None:
+    def __init__(
+        self,
+        reduction_rate: float = 0.5,
+        min_blocks: int = 1,
+        run_context: Optional[RunContext] = None,
+    ) -> None:
         if not 0.0 < reduction_rate < 1.0:
             raise ValueError("reduction_rate must lie in (0, 1)")
         self.reduction_rate = reduction_rate
         self.min_blocks = max(int(min_blocks), 1)
+        self.run_context = run_context
         # entries[0]: most blocks, entries[1]: middle/best, entries[2]: fewest blocks
         self.entries: List[Optional[TripletEntry]] = [None, None, None]
 
@@ -142,16 +149,31 @@ class GoldenRatioSearch:
         self._place(TripletEntry(blockmodel, float(description_length)))
         target = self._next_target()
         if target is None:
-            return SearchDecision(done=True, start=self.best().blockmodel)
-        start = self._start_for(target)
-        if start is None or start.num_blocks - target <= 0:
-            return SearchDecision(done=True, start=self.best().blockmodel)
-        return SearchDecision(
-            done=False,
-            start=start.blockmodel,
-            num_blocks_to_merge=start.num_blocks - target,
-            target_blocks=target,
-        )
+            decision = SearchDecision(done=True, start=self.best().blockmodel)
+        else:
+            start = self._start_for(target)
+            if start is None or start.num_blocks - target <= 0:
+                decision = SearchDecision(done=True, start=self.best().blockmodel)
+            else:
+                decision = SearchDecision(
+                    done=False,
+                    start=start.blockmodel,
+                    num_blocks_to_merge=start.num_blocks - target,
+                    target_blocks=target,
+                )
+        if self.run_context is not None:
+            self.run_context.note_search_state(
+                {
+                    "bracket_established": self.bracket_established,
+                    "bracket_blocks": [e.num_blocks if e else None for e in self.entries],
+                    "best_blocks": self.best().num_blocks,
+                    "best_description_length": self.best().description_length,
+                    "done": decision.done,
+                    "target_blocks": decision.target_blocks,
+                    "num_blocks_to_merge": decision.num_blocks_to_merge,
+                }
+            )
+        return decision
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         described = [

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.blockmodel.blockmodel import Blockmodel
 from repro.core.config import MCMCVariant, SBPConfig
+from repro.core.context import RunContext
 from repro.core.proposals import acceptance_probability, evaluate_vertex_move, propose_block_for_vertex
 
 __all__ = ["SweepResult", "MCMCPhaseResult", "metropolis_hastings_sweep", "mcmc_phase", "make_sweep_fn"]
@@ -98,6 +99,7 @@ def mcmc_phase(
     rng: np.random.Generator,
     vertices: Optional[Sequence[int]] = None,
     sweep_fn: Optional[SweepFn] = None,
+    run_context: Optional[RunContext] = None,
 ) -> MCMCPhaseResult:
     """Run MCMC sweeps until convergence (Alg. 2).
 
@@ -111,11 +113,16 @@ def mcmc_phase(
     sweep_fn:
         Override the sweep implementation (defaults to the one selected by
         ``config.mcmc_variant``).
+    run_context:
+        Lifecycle context: an ``on_mcmc_sweep`` event fires after every
+        sweep, and the phase winds down early (keeping the state reached so
+        far) once the context reports a stop.
     """
     if vertices is None:
         vertices = np.arange(blockmodel.num_vertices)
     if sweep_fn is None:
         sweep_fn = make_sweep_fn(config)
+    ctx = run_context or RunContext()
 
     sweep_results: List[SweepResult] = []
     total_accepted = 0
@@ -137,11 +144,19 @@ def mcmc_phase(
     current_dl = blockmodel.description_length()
     exact_dl: Optional[float] = None
     for _ in range(config.max_mcmc_iterations):
+        if ctx.should_stop():
+            break
         sweep = sweep_fn(blockmodel, vertices, config, rng)
         sweep_results.append(sweep)
         total_accepted += sweep.accepted_moves
         current_dl += sweep.delta_dl
         exact_dl = None
+        ctx.emit_mcmc_sweep(
+            sweep=len(sweep_results),
+            accepted_moves=sweep.accepted_moves,
+            proposed_moves=sweep.proposed_moves,
+            delta_dl=sweep.delta_dl,
+        )
         if abs(sweep.delta_dl) < config.mcmc_convergence_threshold * abs(current_dl):
             if deltas_are_exact:
                 break

@@ -48,14 +48,19 @@ def reference_config(base: Optional[SBPConfig] = None) -> SBPConfig:
     return base.with_overrides(mcmc_variant=MCMCVariant.BATCH_GIBBS)
 
 
-def reference_dcsbp(graph: Graph, num_ranks: int, config: Optional[SBPConfig] = None) -> SBPResult:
+def reference_dcsbp(
+    graph: Graph,
+    num_ranks: int,
+    config: Optional[SBPConfig] = None,
+    run_context=None,
+) -> SBPResult:
     """DC-SBP with the reference (batch-parallel) MCMC engine.
 
     This is the "python implementation" row of the paper's Table VI; the
     "C++ implementation" row corresponds to :func:`repro.core.dcsbp.divide_and_conquer_sbp`
     with the default (hybrid) configuration.
     """
-    result = divide_and_conquer_sbp(graph, num_ranks, reference_config(config))
+    result = divide_and_conquer_sbp(graph, num_ranks, reference_config(config), run_context=run_context)
     result.algorithm = "reference-dcsbp"
     return result
 

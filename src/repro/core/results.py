@@ -7,8 +7,10 @@ treat them interchangeably.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -19,6 +21,33 @@ from repro.graphs.graph import Graph
 from repro.mpi.stats import CommStats
 
 __all__ = ["IterationRecord", "SBPResult"]
+
+#: Format marker embedded in persisted results, so ``load`` can reject
+#: arbitrary JSON files with a clear error instead of a KeyError.
+RESULT_FORMAT = "repro.sbpresult"
+RESULT_FORMAT_VERSION = 1
+
+
+def _json_safe(value):
+    """Recursively convert ``value`` into JSON-serialisable builtins.
+
+    NumPy scalars/arrays become Python numbers/lists; mappings and sequences
+    recurse; anything else falls back to ``repr`` (metadata is best-effort —
+    the typed fields of the result are handled explicitly).
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_json_safe(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
 
 
 @dataclass(frozen=True)
@@ -31,6 +60,28 @@ class IterationRecord:
     mcmc_sweeps: int
     accepted_moves: int
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready record; the DL is stored as ``float.hex`` for bit-exactness."""
+        return {
+            "iteration": int(self.iteration),
+            "num_blocks": int(self.num_blocks),
+            "description_length_hex": float(self.description_length).hex(),
+            "mcmc_sweeps": int(self.mcmc_sweeps),
+            "accepted_moves": int(self.accepted_moves),
+            "phase_seconds": {str(k): float(v) for k, v in self.phase_seconds.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "IterationRecord":
+        return cls(
+            iteration=int(data["iteration"]),
+            num_blocks=int(data["num_blocks"]),
+            description_length=float.fromhex(str(data["description_length_hex"])),
+            mcmc_sweeps=int(data["mcmc_sweeps"]),
+            accepted_moves=int(data["accepted_moves"]),
+            phase_seconds={str(k): float(v) for k, v in dict(data.get("phase_seconds", {})).items()},
+        )
 
 
 @dataclass
@@ -111,3 +162,100 @@ class SBPResult:
             out["nmi"] = self.nmi()
         out.update({f"seconds_{k}": v for k, v in self.phase_seconds.items()})
         return out
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self, include_graph: bool = True) -> Dict[str, object]:
+        """A JSON-ready dict of the full result; inverse of :meth:`from_dict`.
+
+        Description lengths are stored as ``float.hex`` so reloading is
+        bit-exact, matching the repository's golden-file convention.  With
+        ``include_graph=False`` only a reference (name / sizes) is stored and
+        :meth:`load` must be given the graph explicitly.
+
+        ``include_graph=True`` (the default) embeds the full edge list, which
+        makes the file self-contained but scales with the graph: on
+        million-edge graphs expect files of hundreds of MB — pass
+        ``include_graph=False`` there and keep the graph's own (far more
+        compact) edge-list file next to it.
+        """
+        from repro.graphs.io import graph_to_dict  # local import: io is a leaf
+
+        graph_entry: Dict[str, object] = {
+            "name": self.graph.name,
+            "num_vertices": int(self.graph.num_vertices),
+            "num_edges": int(self.graph.num_edges),
+        }
+        if include_graph:
+            graph_entry = graph_to_dict(self.graph)
+        return {
+            "format": RESULT_FORMAT,
+            "version": RESULT_FORMAT_VERSION,
+            "algorithm": self.algorithm,
+            "num_ranks": int(self.num_ranks),
+            "runtime_seconds": float(self.runtime_seconds),
+            "description_length_hex": float(self.description_length).hex(),
+            "num_blocks": int(self.blockmodel.num_blocks),
+            "assignment": np.asarray(self.blockmodel.assignment).tolist(),
+            "phase_seconds": {str(k): float(v) for k, v in self.phase_seconds.items()},
+            "history": [record.to_dict() for record in self.history],
+            "comm_stats": None if self.comm_stats is None else self.comm_stats.to_dict(),
+            "metadata": _json_safe(self.metadata),
+            "graph_included": bool(include_graph),
+            "graph": graph_entry,
+        }
+
+    def to_json(self, include_graph: bool = True, indent: Optional[int] = None) -> str:
+        """Serialise to a JSON string (see :meth:`to_dict`)."""
+        return json.dumps(self.to_dict(include_graph=include_graph), indent=indent)
+
+    def save(self, path: Union[str, Path], include_graph: bool = True) -> Path:
+        """Write the result to ``path`` as JSON and return the path."""
+        path = Path(path)
+        path.write_text(self.to_json(include_graph=include_graph))
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object], graph: Optional[Graph] = None) -> "SBPResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The blockmodel is reconstructed from the stored assignment over the
+        stored (or supplied) graph; the description length, history, and
+        communication stats are restored bit-for-bit from the persisted
+        values rather than recomputed.
+        """
+        from repro.graphs.io import graph_from_dict  # local import: io is a leaf
+
+        if data.get("format") != RESULT_FORMAT:
+            raise ValueError(
+                f"not a persisted SBPResult (missing format marker {RESULT_FORMAT!r})"
+            )
+        if graph is None:
+            if not data.get("graph_included", False):
+                raise ValueError(
+                    "result was saved with include_graph=False; pass the graph explicitly"
+                )
+            graph = graph_from_dict(data["graph"])
+        assignment = np.asarray(data["assignment"], dtype=np.int64)
+        blockmodel = Blockmodel.from_assignment(
+            graph, assignment, num_blocks=int(data["num_blocks"])
+        )
+        comm_entry = data.get("comm_stats")
+        return cls(
+            graph=graph,
+            blockmodel=blockmodel,
+            description_length=float.fromhex(str(data["description_length_hex"])),
+            algorithm=str(data["algorithm"]),
+            num_ranks=int(data["num_ranks"]),
+            runtime_seconds=float(data["runtime_seconds"]),
+            phase_seconds={str(k): float(v) for k, v in dict(data.get("phase_seconds", {})).items()},
+            history=[IterationRecord.from_dict(r) for r in data.get("history", [])],
+            comm_stats=None if comm_entry is None else CommStats.from_dict(comm_entry),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path], graph: Optional[Graph] = None) -> "SBPResult":
+        """Read a result previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()), graph=graph)

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.blockmodel.blockmodel import Blockmodel
 from repro.core.config import SBPConfig
+from repro.core.context import RunContext
 from repro.core.golden_ratio import GoldenRatioSearch
 from repro.core.mcmc import make_sweep_fn, mcmc_phase
 from repro.core.merges import block_merge_phase
@@ -40,6 +41,7 @@ def stochastic_block_partition(
     initial_blockmodel: Optional[Blockmodel] = None,
     rng_registry: Optional[RngRegistry] = None,
     algorithm_label: str = "sbp",
+    run_context: Optional[RunContext] = None,
 ) -> SBPResult:
     """Run (sequential or shared-memory-style) SBP on ``graph``.
 
@@ -57,6 +59,11 @@ def stochastic_block_partition(
         Random-stream registry; defaults to one derived from ``config.seed``.
     algorithm_label:
         Label recorded in the result (e.g. ``"sbp"``, ``"dcsbp-subgraph"``).
+    run_context:
+        Lifecycle context (observers, timeout, cooperative cancellation).
+        On a stop the best blockmodel seen so far is returned as a
+        well-formed partial result, with ``metadata["stopped"]`` recording
+        the reason.
 
     Returns
     -------
@@ -65,6 +72,7 @@ def stochastic_block_partition(
         timings / history.
     """
     config = config or SBPConfig()
+    ctx = run_context or RunContext()
     rngs = rng_registry or RngRegistry(config.seed)
     timers = PhaseTimer()
     total_timer = Timer()
@@ -77,7 +85,7 @@ def stochastic_block_partition(
     if current.graph is not graph and current.graph != graph:
         raise ValueError("initial_blockmodel must be defined over the same graph")
 
-    search = GoldenRatioSearch(config.block_reduction_rate, config.min_blocks)
+    search = GoldenRatioSearch(config.block_reduction_rate, config.min_blocks, run_context=ctx)
     sweep_fn = make_sweep_fn(config)
     num_to_merge = max(int(round(current.num_blocks * config.block_reduction_rate)), 0)
     history = []
@@ -88,7 +96,9 @@ def stochastic_block_partition(
         # it, so the search can return the starting block count if merging
         # only makes the description length worse.
         with timers.measure("mcmc"):
-            warm = mcmc_phase(current, config, rngs.get("mcmc", 0), sweep_fn=sweep_fn)
+            warm = mcmc_phase(
+                current, config, rngs.get("mcmc", 0), sweep_fn=sweep_fn, run_context=ctx
+            )
         decision = search.update(current, warm.description_length)
         if config.track_history:
             history.append(
@@ -100,6 +110,13 @@ def stochastic_block_partition(
                     accepted_moves=warm.accepted_moves,
                 )
             )
+        ctx.emit_cycle(
+            cycle=0,
+            num_blocks=current.num_blocks,
+            description_length=warm.description_length,
+            mcmc_sweeps=warm.sweeps,
+            accepted_moves=warm.accepted_moves,
+        )
         if decision.done:
             num_to_merge = 0
         else:
@@ -107,12 +124,21 @@ def stochastic_block_partition(
             num_to_merge = decision.num_blocks_to_merge
 
     cycle = 0
-    while cycle < MAX_CYCLES and num_to_merge > 0:
+    while cycle < MAX_CYCLES and num_to_merge > 0 and not ctx.should_stop():
         cycle += 1
+        blocks_before = current.num_blocks
         with timers.measure("block_merge"):
             merged = block_merge_phase(current, num_to_merge, config, rngs.get("merge", cycle))
+        ctx.emit_merge_phase(
+            cycle=cycle,
+            num_blocks_before=blocks_before,
+            num_blocks_after=merged.num_blocks,
+            num_merges_requested=num_to_merge,
+        )
         with timers.measure("mcmc"):
-            phase = mcmc_phase(merged, config, rngs.get("mcmc", cycle), sweep_fn=sweep_fn)
+            phase = mcmc_phase(
+                merged, config, rngs.get("mcmc", cycle), sweep_fn=sweep_fn, run_context=ctx
+            )
         dl = phase.description_length
         if config.validate:
             merged.check_consistency()
@@ -131,6 +157,13 @@ def stochastic_block_partition(
                 )
             )
         decision = search.update(merged, dl)
+        ctx.emit_cycle(
+            cycle=cycle,
+            num_blocks=merged.num_blocks,
+            description_length=dl,
+            mcmc_sweeps=phase.sweeps,
+            accepted_moves=phase.accepted_moves,
+        )
         if decision.done:
             break
         current = decision.start.copy()
@@ -147,6 +180,9 @@ def stochastic_block_partition(
     final = Blockmodel.from_assignment(
         graph, best.blockmodel.assignment, relabel=True, matrix_backend=config.matrix_backend
     )
+    metadata: dict = {"cycles": cycle}
+    if ctx.stop_reason is not None:
+        metadata["stopped"] = ctx.stop_reason
     return SBPResult(
         graph=graph,
         blockmodel=final,
@@ -156,5 +192,5 @@ def stochastic_block_partition(
         runtime_seconds=total_timer.elapsed,
         phase_seconds=timers.as_dict(),
         history=history,
-        metadata={"cycles": cycle},
+        metadata=metadata,
     )

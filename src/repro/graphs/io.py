@@ -23,6 +23,8 @@ __all__ = [
     "save_truth_file",
     "load_matrix_market",
     "save_matrix_market",
+    "graph_to_dict",
+    "graph_from_dict",
 ]
 
 PathLike = Union[str, Path]
@@ -109,6 +111,40 @@ def load_truth_file(path: PathLike, num_vertices: int, one_indexed: bool = True)
             if 0 <= v < num_vertices:
                 truth[v] = c
     return truth
+
+
+def graph_to_dict(graph: Graph) -> dict:
+    """A JSON-ready dict capturing the graph exactly; inverse of :func:`graph_from_dict`.
+
+    Distinct directed edges with aggregated integer weights (the graph's
+    canonical internal form), plus the planted ground truth when present, so
+    a persisted :class:`~repro.core.results.SBPResult` can recompute NMI and
+    DL_norm without access to the original generator.
+    """
+    src, dst, weight = graph.edge_arrays()
+    out = {
+        "name": graph.name,
+        "num_vertices": int(graph.num_vertices),
+        "src": src.tolist(),
+        "dst": dst.tolist(),
+        "weight": weight.tolist(),
+    }
+    if graph.true_assignment is not None:
+        out["true_assignment"] = graph.true_assignment.tolist()
+    return out
+
+
+def graph_from_dict(data: dict) -> Graph:
+    """Rebuild a :class:`Graph` from :func:`graph_to_dict` output."""
+    truth = data.get("true_assignment")
+    return Graph(
+        int(data["num_vertices"]),
+        np.asarray(data["src"], dtype=np.int64),
+        np.asarray(data["dst"], dtype=np.int64),
+        np.asarray(data["weight"], dtype=np.int64),
+        true_assignment=None if truth is None else np.asarray(truth, dtype=np.int64),
+        name=str(data.get("name", "")),
+    )
 
 
 def save_matrix_market(graph: Graph, path: PathLike) -> None:

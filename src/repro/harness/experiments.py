@@ -30,12 +30,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.api import get_strategy
 from repro.core.config import SBPConfig
-from repro.core.dcsbp import divide_and_conquer_sbp
-from repro.core.edist import edist
-from repro.core.reference import reference_dcsbp
+from repro.core.context import RunContext
 from repro.core.results import SBPResult
-from repro.core.sbp import stochastic_block_partition
 from repro.evaluation.islands import IslandStudyPoint, bin_island_study
 from repro.graphs.generators.challenge import CHALLENGE_GRAPHS, challenge_graph
 from repro.graphs.generators.parameter_sweep import PARAMETER_SWEEP_GRAPHS, parameter_sweep_graph
@@ -92,26 +90,38 @@ def _cached_graph(kind: str, graph_id: str, scale: float, seed: int) -> Graph:
     return _GRAPH_CACHE[key]
 
 
-def run_algorithm(algorithm: str, graph: Graph, num_ranks: int, config: SBPConfig) -> SBPResult:
-    """Dispatch one run of ``"sbp"``, ``"dcsbp"``, ``"reference-dcsbp"``, or ``"edist"``.
+def run_algorithm(
+    algorithm: str,
+    graph: Graph,
+    num_ranks: int,
+    config: SBPConfig,
+    run_context: Optional[RunContext] = None,
+) -> SBPResult:
+    """Dispatch one run through the strategy registry.
+
+    ``algorithm`` is a registry name or alias (``"sbp"``/``"sequential"``,
+    ``"dcsbp"``, ``"reference-dcsbp"``/``"reference_dcsbp"``, ``"edist"``);
+    the registry error lists the valid keys on a bad name.  A distributed
+    strategy asked for one rank runs the sequential strategy, matching how
+    the paper reports single-node baselines.
 
     Results are memoised per (graph, algorithm, rank count, config) so that
     experiments sharing configurations (e.g. Table VII and Fig. 2, or Figs. 3
     and 4) do not repeat identical runs within one benchmark session.
+    Memoisation is skipped when a ``run_context`` is supplied (observers make
+    runs non-interchangeable).
     """
-    cache_key = (id(graph), algorithm, int(num_ranks), config)
+    strategy = get_strategy(algorithm)
+    if strategy.name in ("dcsbp", "edist") and num_ranks == 1:
+        strategy = get_strategy("sequential")
+    if strategy.name == "sequential":
+        num_ranks = 1
+    if run_context is not None:
+        return strategy.run(graph, config, num_ranks=num_ranks, run_context=run_context)
+    cache_key = (id(graph), strategy.name, int(num_ranks), config)
     if cache_key in _RESULT_CACHE:
         return _RESULT_CACHE[cache_key]
-    if algorithm == "sbp" or (algorithm in ("dcsbp", "edist") and num_ranks == 1):
-        result = stochastic_block_partition(graph, config)
-    elif algorithm == "dcsbp":
-        result = divide_and_conquer_sbp(graph, num_ranks, config)
-    elif algorithm == "reference-dcsbp":
-        result = reference_dcsbp(graph, num_ranks, config)
-    elif algorithm == "edist":
-        result = edist(graph, num_ranks, config)
-    else:
-        raise ValueError(f"unknown algorithm {algorithm!r}")
+    result = strategy.run(graph, config, num_ranks=num_ranks)
     _RESULT_CACHE[cache_key] = result
     return result
 

@@ -93,3 +93,33 @@ class CommStats:
             "bytes_sent": dict(self.bytes_sent),
             "bytes_received": dict(self.bytes_received),
         }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON-ready snapshot; inverse of :meth:`from_dict`.
+
+        Unlike :meth:`as_dict` (counters only, kept for the runtime model),
+        this includes the rank and any recorded per-call events, so a
+        persisted :class:`~repro.core.results.SBPResult` round-trips its
+        communication accounting exactly.
+        """
+        out: Dict[str, object] = {"rank": self.rank, **self.as_dict()}
+        if self.events:
+            out["events"] = [
+                {"operation": e.operation, "bytes_sent": e.bytes_sent, "bytes_received": e.bytes_received}
+                for e in self.events
+            ]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CommStats":
+        """Rebuild stats from :meth:`to_dict` output."""
+        return cls(
+            rank=int(data.get("rank", 0)),
+            calls={str(k): int(v) for k, v in dict(data.get("calls", {})).items()},
+            bytes_sent={str(k): int(v) for k, v in dict(data.get("bytes_sent", {})).items()},
+            bytes_received={str(k): int(v) for k, v in dict(data.get("bytes_received", {})).items()},
+            events=[
+                CommEvent(str(e["operation"]), int(e["bytes_sent"]), int(e["bytes_received"]))
+                for e in data.get("events", [])
+            ],
+        )

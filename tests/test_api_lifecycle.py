@@ -1,0 +1,267 @@
+"""Run-lifecycle hooks: observer events, cancellation, timeouts, RunHandle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Partitioner, partition
+from repro.core.context import (
+    CycleEvent,
+    MCMCSweepEvent,
+    MergePhaseEvent,
+    RunCancelled,
+    RunContext,
+    RunObserver,
+)
+
+STRATEGIES = ["sequential", "dcsbp", "edist"]
+
+
+class CountingObserver(RunObserver):
+    """Counts every event; optionally cancels after N cycles."""
+
+    def __init__(self, cancel_after_cycles=None):
+        self.cycle_events = []
+        self.merge_events = []
+        self.sweep_events = []
+        self.cancel_after_cycles = cancel_after_cycles
+
+    def on_cycle(self, event):
+        self.cycle_events.append(event)
+        if self.cancel_after_cycles is not None and len(self.cycle_events) >= self.cancel_after_cycles:
+            event.context.cancel()
+
+    def on_merge_phase(self, event):
+        self.merge_events.append(event)
+
+    def on_mcmc_sweep(self, event):
+        self.sweep_events.append(event)
+
+
+def run_strategy(strategy, graph, config, observers=(), timeout=None):
+    num_ranks = 1 if strategy == "sequential" else 2
+    return partition(
+        graph, strategy=strategy, config=config, num_ranks=num_ranks,
+        observers=observers, timeout=timeout,
+    )
+
+
+class TestObserverEvents:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_event_counts_match_history(self, planted_graph, fast_config, strategy):
+        observer = CountingObserver()
+        result = run_strategy(strategy, planted_graph, fast_config, observers=[observer])
+        # One on_cycle per history record …
+        assert len(observer.cycle_events) == len(result.history)
+        # … whose payloads mirror the records exactly.
+        for event, record in zip(observer.cycle_events, result.history):
+            assert event.cycle == record.iteration
+            assert event.num_blocks == record.num_blocks
+            assert event.description_length == record.description_length
+            assert event.mcmc_sweeps == record.mcmc_sweeps
+            assert event.accepted_moves == record.accepted_moves
+        # One on_mcmc_sweep per sweep recorded in the history.
+        assert len(observer.sweep_events) == sum(r.mcmc_sweeps for r in result.history)
+        # One on_merge_phase per cycle that ran a block-merge phase (every
+        # history record except a warm-start record at iteration 0).
+        assert len(observer.merge_events) == sum(1 for r in result.history if r.iteration >= 1)
+
+    def test_event_types_and_payloads(self, planted_graph, fast_config):
+        observer = CountingObserver()
+        run_strategy("sequential", planted_graph, fast_config, observers=[observer])
+        assert all(isinstance(e, CycleEvent) for e in observer.cycle_events)
+        assert all(isinstance(e, MergePhaseEvent) for e in observer.merge_events)
+        assert all(isinstance(e, MCMCSweepEvent) for e in observer.sweep_events)
+        for event in observer.merge_events:
+            assert event.num_blocks_after <= event.num_blocks_before
+            assert event.num_merges_requested >= 1
+        # The golden-ratio search annotates cycle events with its state.
+        assert observer.cycle_events[0].search_state is not None
+        assert "target_blocks" in observer.cycle_events[0].search_state
+
+    def test_multiple_observers_all_notified(self, planted_graph, fast_config):
+        first, second = CountingObserver(), CountingObserver()
+        run_strategy("sequential", planted_graph, fast_config, observers=[first, second])
+        assert len(first.cycle_events) == len(second.cycle_events) > 0
+
+    def test_observers_do_not_change_results(self, planted_graph, fast_config):
+        silent = run_strategy("edist", planted_graph, fast_config)
+        observed = run_strategy("edist", planted_graph, fast_config, observers=[CountingObserver()])
+        assert np.array_equal(silent.assignment, observed.assignment)
+        assert silent.description_length == observed.description_length
+
+
+class TestCancellation:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_cancel_after_n_cycles_yields_partial_result(self, planted_graph, fast_config, strategy):
+        # DC-SBP's observable history is the root's fine-tuning stage, which
+        # converges in very few cycles on this graph — cancel at the first.
+        cancel_after = 1 if strategy == "dcsbp" else 2
+        observer = CountingObserver(cancel_after_cycles=cancel_after)
+        result = run_strategy(strategy, planted_graph, fast_config, observers=[observer])
+        # The run stopped early, for the reason we injected …
+        assert result.metadata.get("stopped") == "cancelled"
+        assert len(observer.cycle_events) == cancel_after
+        # … and still produced a well-formed result: full assignment over the
+        # graph, exact DL, and a history matching the observed events.
+        assert result.assignment.shape == (planted_graph.num_vertices,)
+        assert np.isfinite(result.description_length)
+        assert result.num_communities >= 1
+        assert len(result.history) == len(observer.cycle_events)
+
+    def test_cancelled_sequential_run_is_prefix_of_full_run(self, planted_graph, fast_config):
+        full = run_strategy("sequential", planted_graph, fast_config)
+        observer = CountingObserver(cancel_after_cycles=2)
+        partial = run_strategy("sequential", planted_graph, fast_config, observers=[observer])
+        assert [r.description_length for r in partial.history] == [
+            r.description_length for r in full.history[:2]
+        ]
+
+    def test_partial_result_serializes(self, planted_graph, fast_config, tmp_path):
+        from repro.core.results import SBPResult
+
+        observer = CountingObserver(cancel_after_cycles=2)
+        partial = run_strategy("edist", planted_graph, fast_config, observers=[observer])
+        reloaded = SBPResult.load(partial.save(tmp_path / "partial.json"))
+        assert reloaded.metadata["stopped"] == "cancelled"
+        assert reloaded.description_length == partial.description_length
+
+    def test_external_cancel_before_run(self, planted_graph, fast_config):
+        handle = Partitioner("sequential", fast_config).submit(planted_graph)
+        handle.cancel()
+        result = handle.run()
+        assert handle.status == "cancelled"
+        # Nothing ran, but the result is still well-formed (the degenerate
+        # one-block-per-vertex state).
+        assert result.assignment.shape == (planted_graph.num_vertices,)
+        assert result.metadata.get("stopped") == "cancelled"
+        assert len(result.history) == 0
+
+
+class TestTimeout:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_zero_timeout_still_returns_wellformed_result(self, planted_graph, fast_config, strategy):
+        result = run_strategy(strategy, planted_graph, fast_config, timeout=0.0)
+        assert result.metadata.get("stopped") == "timeout"
+        assert result.assignment.shape == (planted_graph.num_vertices,)
+        assert np.isfinite(result.description_length)
+
+    def test_timeout_armed_at_first_check_not_at_construction(self):
+        # A handle can sit pending without consuming its wall-clock budget:
+        # the deadline arms at the first should_stop() call (run start).
+        import time
+
+        ctx = RunContext(timeout=0.2)
+        time.sleep(0.25)
+        assert not ctx.should_stop()  # budget starts now, not at __init__
+        assert ctx.stop_reason is None
+
+    def test_generous_timeout_does_not_interfere(self, planted_graph, fast_config):
+        unlimited = run_strategy("sequential", planted_graph, fast_config)
+        bounded = run_strategy("sequential", planted_graph, fast_config, timeout=3600.0)
+        assert bounded.metadata.get("stopped") is None
+        assert np.array_equal(unlimited.assignment, bounded.assignment)
+        assert unlimited.description_length == bounded.description_length
+
+
+class TestRunHandle:
+    def test_status_transitions(self, planted_graph, fast_config):
+        handle = Partitioner("sequential", fast_config).submit(planted_graph)
+        assert handle.status == "pending"
+        handle.run()
+        assert handle.status == "completed"
+
+    def test_cancel_from_observer_sets_cancelled_status(self, planted_graph, fast_config):
+        observer = CountingObserver(cancel_after_cycles=1)
+        handle = Partitioner("sequential", fast_config).submit(
+            planted_graph, observers=[observer]
+        )
+        result = handle.run()
+        assert handle.status == "cancelled"
+        assert result.metadata["stopped"] == "cancelled"
+
+    def test_timeout_sets_timeout_status(self, planted_graph, fast_config):
+        handle = Partitioner("edist", fast_config, num_ranks=2).submit(
+            planted_graph, timeout=0.0
+        )
+        handle.run()
+        assert handle.status == "timeout"
+
+    def test_custom_cancel_reason_maps_to_cancelled_state(self, planted_graph, fast_config):
+        class BudgetObserver(RunObserver):
+            def on_cycle(self, event):
+                event.context.cancel("budget-exceeded")
+
+        handle = Partitioner("sequential", fast_config).submit(
+            planted_graph, observers=[BudgetObserver()]
+        )
+        result = handle.run()
+        assert handle.status == "cancelled"
+        assert handle.done
+        assert handle.context.stop_reason == "budget-exceeded"
+        assert result.metadata["stopped"] == "budget-exceeded"
+        # Idempotent: a second run() returns the stored partial result.
+        assert handle.run() is result
+
+    def test_edist_sweep_events_report_global_proposals(self, planted_graph, fast_config):
+        observer = CountingObserver()
+        run_strategy("edist", planted_graph, fast_config, observers=[observer])
+        for event in observer.sweep_events:
+            assert event.accepted_moves <= event.proposed_moves
+
+    def test_add_observer_before_run(self, planted_graph, fast_config):
+        observer = CountingObserver()
+        handle = Partitioner("sequential", fast_config).submit(planted_graph)
+        handle.add_observer(observer)
+        handle.run()
+        assert len(observer.cycle_events) > 0
+
+    def test_failed_run_reraises(self, planted_graph, fast_config):
+        class Exploding(RunObserver):
+            def on_cycle(self, event):
+                raise RuntimeError("boom")
+
+        handle = Partitioner("sequential", fast_config).submit(
+            planted_graph, observers=[Exploding()]
+        )
+        with pytest.raises(RuntimeError):
+            handle.run()
+        assert handle.status == "failed"
+        with pytest.raises(RuntimeError):
+            handle.result()
+
+
+class TestRunContextPrimitives:
+    def test_silent_view_shares_stop_state(self):
+        root = RunContext()
+        view = root.silent()
+        view.cancel()
+        assert root.should_stop()
+        assert root.stop_reason == "cancelled"
+
+    def test_silent_view_emits_nothing(self):
+        observer = CountingObserver()
+        root = RunContext(observers=[observer])
+        root.silent().emit_cycle(1, 10, 1.0, 1, 1)
+        assert observer.cycle_events == []
+        assert root.event_counts["cycle"] == 0
+
+    def test_first_stop_reason_wins(self):
+        ctx = RunContext()
+        ctx.cancel()
+        ctx.cancel(reason="other")
+        assert ctx.stop_reason == "cancelled"
+
+    def test_raise_if_stopped(self):
+        ctx = RunContext()
+        ctx.raise_if_stopped()  # no-op while running
+        ctx.cancel()
+        with pytest.raises(RunCancelled):
+            ctx.raise_if_stopped()
+
+    def test_event_counts_tracked(self, planted_graph, fast_config):
+        ctx = RunContext()
+        partition(planted_graph, config=fast_config, run_context=ctx)
+        assert ctx.event_counts["cycle"] > 0
+        assert ctx.event_counts["mcmc_sweep"] >= ctx.event_counts["cycle"]
