@@ -9,8 +9,9 @@
 # pytest (e.g. `scripts/verify.sh tests/` to skip the benchmark suite).
 #
 #   --differential   run only the cross-backend differential suite
-#                    (tests/differential/): dict vs csr bit-identity
-#                    through sequential SBP, DC-SBP and EDiSt, golden-file
+#                    (tests/differential/): bit-identity of all three
+#                    storage backends (dict / csr / sparse_csr) through
+#                    sequential SBP, DC-SBP and EDiSt, golden-file
 #                    regression partitions, and old→new API equivalence.
 #
 #   --examples       run every examples/*.py in scaled-down smoke mode

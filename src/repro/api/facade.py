@@ -103,7 +103,8 @@ def partition(
         (mutually exclusive with them); used by :class:`RunHandle`.
     **overrides:
         :class:`SBPConfig` field overrides, e.g. ``seed=0``,
-        ``matrix_backend="csr"``.
+        ``matrix_backend="csr"`` (or ``"sparse_csr"`` past the dense
+        backend's block-count cap).
     """
     resolved_strategy = get_strategy(strategy)
     resolved_config = resolve_config(config, **overrides)

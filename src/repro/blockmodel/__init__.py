@@ -3,7 +3,12 @@
 This package implements the data structures the paper's C++ implementation
 optimises (Section III-A):
 
-* a **sparse block matrix** stored as a vector of hash maps *plus its
+* a **block matrix protocol** (:mod:`repro.blockmodel.backend`) with a
+  registry of interchangeable storage backends: ``"dict"`` (hash maps +
+  transpose, the reference), ``"csr"`` (dense numpy, vectorized kernels)
+  and ``"sparse_csr"`` (scipy-free CSR/CSC + COO buffer — the vectorized
+  kernels without the dense memory bound),
+* the **sparse block matrix** stored as a vector of hash maps *plus its
   transpose* for fast row- and column-wise access (optimisations (a)/(b)),
 * **sparse deltas** so that the change in description length of a proposed
   vertex move or block merge touches only the affected rows/columns
@@ -15,8 +20,15 @@ The pointer-based merge tracking (optimisation (d)) lives in
 :mod:`repro.core.merges` because it belongs to the block-merge phase.
 """
 
+from repro.blockmodel.backend import (
+    BlockMatrixBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.blockmodel.sparse_matrix import SparseBlockMatrix
 from repro.blockmodel.csr_matrix import CSRBlockMatrix, MAX_DENSE_BLOCKS
+from repro.blockmodel.sparse_csr_matrix import SparseCSRBlockMatrix
 from repro.blockmodel.blockmodel import Blockmodel, VertexBlockCounts, MATRIX_BACKENDS
 from repro.blockmodel.entropy import (
     blockmodel_entropy_term,
@@ -35,8 +47,13 @@ from repro.blockmodel.deltas import (
 )
 
 __all__ = [
+    "BlockMatrixBackend",
+    "register_backend",
+    "get_backend",
+    "available_backends",
     "SparseBlockMatrix",
     "CSRBlockMatrix",
+    "SparseCSRBlockMatrix",
     "MAX_DENSE_BLOCKS",
     "MATRIX_BACKENDS",
     "Blockmodel",

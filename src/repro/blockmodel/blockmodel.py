@@ -21,18 +21,24 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.blockmodel.csr_matrix import CSRBlockMatrix
-from repro.blockmodel.sparse_matrix import SparseBlockMatrix
+from repro.blockmodel.backend import BlockMatrixBackend, available_backends, get_backend
+
+# Importing the implementation modules populates the backend registry.
+from repro.blockmodel.csr_matrix import CSRBlockMatrix  # noqa: F401
+from repro.blockmodel.sparse_matrix import SparseBlockMatrix  # noqa: F401
+from repro.blockmodel.sparse_csr_matrix import SparseCSRBlockMatrix  # noqa: F401
 from repro.blockmodel import entropy as entropy_mod
 from repro.graphs.graph import Graph
 
 __all__ = ["VertexBlockCounts", "Blockmodel", "MATRIX_BACKENDS"]
 
-#: Storage backends selectable via ``SBPConfig.matrix_backend`` /
-#: ``Blockmodel.from_graph(..., matrix_backend=...)``.  ``"dict"`` is the
-#: hash-map reference implementation; ``"csr"`` is the dense numpy backend
-#: that enables the vectorized MCMC kernels.
-MATRIX_BACKENDS = ("dict", "csr")
+#: Import-time snapshot of the registered storage backends (``"dict"`` is
+#: the hash-map reference, ``"csr"`` the dense vectorized array,
+#: ``"sparse_csr"`` the scipy-free true-sparse representation).  Kept for
+#: test parametrization and documentation; *validation* always consults the
+#: live registry (:func:`repro.blockmodel.backend.available_backends`) so
+#: backends registered after import are accepted everywhere.
+MATRIX_BACKENDS = tuple(available_backends())
 
 
 @dataclass
@@ -76,7 +82,7 @@ class Blockmodel:
         graph: Graph,
         assignment: np.ndarray,
         num_blocks: int,
-        matrix: SparseBlockMatrix,
+        matrix: BlockMatrixBackend,
         block_out_degrees: np.ndarray,
         block_in_degrees: np.ndarray,
         block_sizes: np.ndarray,
@@ -132,12 +138,13 @@ class Blockmodel:
             preserving order of first appearance by label value (i.e. the
             sorted unique labels are mapped to consecutive integers).
         matrix_backend:
-            Block matrix storage: ``"dict"`` (hash maps, the reference) or
-            ``"csr"`` (dense numpy arrays with cached marginals, the
-            vectorized backend).
+            Block matrix storage, resolved against the backend registry
+            (:func:`repro.blockmodel.backend.get_backend`): ``"dict"``
+            (hash maps, the reference), ``"csr"`` (dense numpy arrays with
+            cached marginals) or ``"sparse_csr"`` (scipy-free CSR/COO, no
+            dense memory bound).
         """
-        if matrix_backend not in MATRIX_BACKENDS:
-            raise ValueError(f"unknown matrix_backend {matrix_backend!r}; expected one of {MATRIX_BACKENDS}")
+        backend_cls = get_backend(matrix_backend)  # ValueError lists the registry
         assignment = np.asarray(assignment, dtype=np.int64).copy()
         if assignment.shape != (graph.num_vertices,):
             raise ValueError("assignment must label every vertex")
@@ -152,12 +159,7 @@ class Blockmodel:
         src, dst, w = graph.edge_arrays()
         bsrc = assignment[src]
         bdst = assignment[dst]
-        if matrix_backend == "csr":
-            matrix = CSRBlockMatrix.from_block_edges(num_blocks, bsrc, bdst, w)
-        else:
-            matrix = SparseBlockMatrix(num_blocks)
-            for i, j, weight in zip(bsrc.tolist(), bdst.tolist(), w.tolist()):
-                matrix.add(i, j, weight)
+        matrix = backend_cls.from_block_edges(num_blocks, bsrc, bdst, w)
 
         block_out = np.zeros(num_blocks, dtype=np.int64)
         block_in = np.zeros(num_blocks, dtype=np.int64)
@@ -212,7 +214,7 @@ class Blockmodel:
 
     @property
     def matrix_backend(self) -> str:
-        """Name of the block matrix storage backend (``"dict"`` or ``"csr"``)."""
+        """Registry name of the block matrix storage backend."""
         return getattr(self.matrix, "backend", "dict")
 
     def block_of(self, v: int) -> int:
@@ -277,7 +279,7 @@ class Blockmodel:
             counts = self.vertex_block_counts(v)
 
         matrix = self.matrix
-        if hasattr(matrix, "add_many"):
+        if getattr(matrix, "supports_batched_kernels", False):
             # Batched scatter-add: one numpy call instead of 2×(deg) scalar adds.
             rows: list = []
             cols: list = []
@@ -353,7 +355,7 @@ class Blockmodel:
         scanned in ascending block order for both storage backends, so a
         given RNG draw selects the same block regardless of backend.
 
-        ``cumsum_cache`` (dense backend only) memoizes the per-block
+        ``cumsum_cache`` (array backends only) memoizes the per-block
         cumulative sums across calls; callers that sample the same blocks
         many times while the blockmodel is *frozen* — the merge-proposal
         loop — pass a dict they own.  Caching changes neither the RNG
@@ -364,25 +366,34 @@ class Blockmodel:
             return -1
         target = int(rng.integers(0, total))
         matrix = self.matrix
-        if hasattr(matrix, "row_array"):
-            # Dense backend: cumulative-sum search over the row, then (for
-            # draws beyond the row total) over the column.
+        if getattr(matrix, "supports_batched_kernels", False):
+            # Array backends: cumulative-sum search over the row's non-zero
+            # entries, then (for draws beyond the row total) over the
+            # column's.  Searching the sparse cumulative sums selects the
+            # same block as the dense-row search used previously: the dense
+            # cumsum is flat across zero entries, so ``side="right"`` lands
+            # on exactly the non-zero entry whose partial sum first exceeds
+            # the target.
             row_total = matrix.row_sum(block)
             if target < row_total:
                 key = ("row", block)
-                cum = cumsum_cache.get(key) if cumsum_cache is not None else None
-                if cum is None:
-                    cum = np.cumsum(matrix.row_array(block))
+                cached = cumsum_cache.get(key) if cumsum_cache is not None else None
+                if cached is None:
+                    idx, vals = matrix.row_entries(block)
+                    cached = (np.cumsum(vals), idx)
                     if cumsum_cache is not None:
-                        cumsum_cache[key] = cum
-                return int(np.searchsorted(cum, target, side="right"))
+                        cumsum_cache[key] = cached
+                cum, idx = cached
+                return int(idx[np.searchsorted(cum, target, side="right")])
             key = ("col", block)
-            cum = cumsum_cache.get(key) if cumsum_cache is not None else None
-            if cum is None:
-                cum = np.cumsum(matrix.col_array(block))
+            cached = cumsum_cache.get(key) if cumsum_cache is not None else None
+            if cached is None:
+                idx, vals = matrix.col_entries(block)
+                cached = (np.cumsum(vals), idx)
                 if cumsum_cache is not None:
-                    cumsum_cache[key] = cum
-            return int(np.searchsorted(cum, target - row_total, side="right"))
+                    cumsum_cache[key] = cached
+            cum, idx = cached
+            return int(idx[np.searchsorted(cum, target - row_total, side="right")])
         row = matrix.row(block)
         col = matrix.col(block)
         acc = 0

@@ -33,24 +33,33 @@ from typing import Dict, Iterator, Tuple
 
 import numpy as np
 
+from repro.blockmodel.backend import (
+    BlockMatrixBackend,
+    backend_registry_hint,
+    register_backend,
+)
+
 __all__ = ["CSRBlockMatrix", "MAX_DENSE_BLOCKS"]
 
 #: Largest block count the dense backend will allocate (8 GiB of int64 at the
 #: limit).  ``Blockmodel.from_graph`` starts with one block per vertex, so
-#: this effectively caps the graph size the CSR backend accepts.
+#: this effectively caps the graph size the dense CSR backend accepts; the
+#: ``"sparse_csr"`` backend stores only the non-zeros and has no such cap.
 MAX_DENSE_BLOCKS = 32768
 
 
-class CSRBlockMatrix:
+@register_backend("csr")
+class CSRBlockMatrix(BlockMatrixBackend):
     """A square integer block matrix backed by a dense numpy array.
 
-    Implements the same interface as :class:`SparseBlockMatrix` (the two are
-    interchangeable inside :class:`~repro.blockmodel.blockmodel.Blockmodel`)
-    plus the batched accessors used by the vectorized MCMC kernels.  Row and
-    column sums are maintained incrementally so marginals are O(1).
+    Implements the same :class:`BlockMatrixBackend` protocol as
+    :class:`SparseBlockMatrix` (the backends are interchangeable inside
+    :class:`~repro.blockmodel.blockmodel.Blockmodel`) plus the batched
+    accessors used by the vectorized MCMC kernels.  Row and column sums are
+    maintained incrementally so marginals are O(1).
     """
 
-    backend = "csr"
+    supports_batched_kernels = True
 
     __slots__ = ("num_blocks", "data", "_row_sums", "_col_sums")
 
@@ -59,9 +68,10 @@ class CSRBlockMatrix:
             raise ValueError("num_blocks must be non-negative")
         if num_blocks > MAX_DENSE_BLOCKS:
             raise ValueError(
-                f"CSR backend allocates a dense {num_blocks}x{num_blocks} matrix; "
-                f"the limit is {MAX_DENSE_BLOCKS} blocks — use matrix_backend='dict' "
-                "for larger graphs"
+                f"the 'csr' backend allocates a dense {num_blocks}x{num_blocks} matrix; "
+                f"the limit is {MAX_DENSE_BLOCKS} blocks — for larger graphs pick another "
+                f"registered matrix_backend ({backend_registry_hint()}); "
+                "'sparse_csr' keeps the vectorized kernels without the dense memory bound"
             )
         self.num_blocks = int(num_blocks)
         self.data = np.zeros((num_blocks, num_blocks), dtype=np.int64)
@@ -142,6 +152,18 @@ class CSRBlockMatrix:
         """``(i, j, value)`` arrays of the non-zero entries, row-major."""
         i, j = np.nonzero(self.data)
         return i, j, self.data[i, j]
+
+    def row_entries(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Row ``i``'s non-zero ``(columns, values)``, ascending columns."""
+        row = self.data[i]
+        cols = np.flatnonzero(row)
+        return cols, row[cols]
+
+    def col_entries(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Column ``j``'s non-zero ``(rows, values)``, ascending rows."""
+        col = self.data[:, j]
+        rows = np.flatnonzero(col)
+        return rows, col[rows]
 
     # ------------------------------------------------------------------
     # Row / column views (snapshots, unlike the dict backend's live views)

@@ -408,18 +408,19 @@ def delta_dl_for_moves(
     is exactly the staleness semantics of the asynchronous Gibbs batches in
     :mod:`repro.core.hybrid_mcmc`.
 
-    Requires a backend with batched access (``get_many``), i.e. the CSR
-    backend; moves proposing ``to_block == from_block`` get ``ΔDL = 0``.
+    Requires a backend with ``supports_batched_kernels`` (``"csr"`` or
+    ``"sparse_csr"``); moves proposing ``to_block == from_block`` get
+    ``ΔDL = 0``.
     """
     vertices = np.asarray(vertices, dtype=np.int64)
     to_blocks = np.asarray(to_blocks, dtype=np.int64)
     if vertices.shape != to_blocks.shape:
         raise ValueError("vertices and to_blocks must have the same shape")
     matrix = blockmodel.matrix
-    if not hasattr(matrix, "get_many"):
+    if not getattr(matrix, "supports_batched_kernels", False):
         raise TypeError(
-            "delta_dl_for_moves requires a batched matrix backend "
-            "(SBPConfig(matrix_backend='csr'))"
+            "delta_dl_for_moves requires a backend with supports_batched_kernels "
+            "(e.g. SBPConfig(matrix_backend='csr') or 'sparse_csr')"
         )
     m = vertices.shape[0]
     num_blocks = blockmodel.num_blocks
@@ -659,19 +660,6 @@ def delta_dl_for_merge(
     return delta
 
 
-def _csr_structure(matrix) -> tuple:
-    """Row- and column-major CSR views of a dense block matrix's non-zeros."""
-    nz_i, nz_j, nz_v = matrix.nonzero_arrays()
-    num_blocks = matrix.num_blocks
-    row_ptr = np.zeros(num_blocks + 1, dtype=np.int64)
-    np.cumsum(np.bincount(nz_i, minlength=num_blocks), out=row_ptr[1:])
-    order = np.lexsort((nz_i, nz_j))
-    col_i, col_v = nz_i[order], nz_v[order]
-    col_ptr = np.zeros(num_blocks + 1, dtype=np.int64)
-    np.cumsum(np.bincount(nz_j, minlength=num_blocks), out=col_ptr[1:])
-    return (nz_j, nz_v, row_ptr), (col_i, col_v, col_ptr)
-
-
 def _gather_segments(ptr: np.ndarray, blocks: np.ndarray) -> tuple:
     """Flattened CSR segments of the given blocks: (candidate_idx, flat_idx)."""
     starts = ptr[blocks]
@@ -692,8 +680,9 @@ def delta_dl_for_merges(
     Vectorized counterpart of :func:`delta_dl_for_merge`: all candidates are
     scored with whole-batch numpy gathers over the non-zero structure of the
     block matrix instead of per-candidate Python loops.  Per-candidate work
-    is O(Σ nnz(rows/cols touched)), on top of a once-per-call structure
-    build that scans the dense matrix (O(B²) + O(nnz·log nnz)) — callers
+    is O(Σ nnz(rows/cols touched)), on top of a once-per-call
+    ``matrix.csr_structure()`` build (a zero-copy view on the sparse_csr
+    backend; O(B²) + O(nnz·log nnz) on the dense backend) — callers
     amortise that by scoring a whole phase's candidates in one batch, the
     way :func:`repro.core.merges.best_segmented_merges` does.
 
@@ -703,18 +692,19 @@ def delta_dl_for_merges(
     **bit-identical** to per-candidate :func:`delta_dl_for_merge` calls —
     the property the cross-backend differential suite locks down.
 
-    Requires a backend with batched access (``SBPConfig(matrix_backend='csr')``).
-    Candidates with ``from_block == to_block`` get ``ΔDL = 0``.
+    Requires a backend with ``supports_batched_kernels`` (``"csr"`` or
+    ``"sparse_csr"``).  Candidates with ``from_block == to_block`` get
+    ``ΔDL = 0``.
     """
     from_blocks = np.asarray(from_blocks, dtype=np.int64)
     to_blocks = np.asarray(to_blocks, dtype=np.int64)
     if from_blocks.shape != to_blocks.shape:
         raise ValueError("from_blocks and to_blocks must have the same shape")
     matrix = blockmodel.matrix
-    if not hasattr(matrix, "row_array"):
+    if not getattr(matrix, "supports_batched_kernels", False):
         raise TypeError(
-            "delta_dl_for_merges requires a batched matrix backend "
-            "(SBPConfig(matrix_backend='csr'))"
+            "delta_dl_for_merges requires a backend with supports_batched_kernels "
+            "(e.g. SBPConfig(matrix_backend='csr') or 'sparse_csr')"
         )
     total = from_blocks.shape[0]
     deltas = np.zeros(total, dtype=np.float64)
@@ -727,7 +717,7 @@ def delta_dl_for_merges(
     num_blocks = np.int64(blockmodel.num_blocks)
     d_out = blockmodel.block_out_degrees
     d_in = blockmodel.block_in_degrees
-    (row_j, row_v, row_ptr), (col_i, col_v, col_ptr) = _csr_structure(matrix)
+    (row_j, row_v, row_ptr), (col_i, col_v, col_ptr) = matrix.csr_structure()
 
     # ------------------------------------------------------------------
     # Old region, laid out per candidate as [row r | row s | col r | col s]

@@ -17,15 +17,19 @@ from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
 
+from repro.blockmodel.backend import BlockMatrixBackend, register_backend
+
 __all__ = ["SparseBlockMatrix"]
 
 
-class SparseBlockMatrix:
-    """A square sparse integer matrix with row and column hash-map views."""
+@register_backend("dict")
+class SparseBlockMatrix(BlockMatrixBackend):
+    """A square sparse integer matrix with row and column hash-map views.
 
-    #: Name under which :class:`~repro.core.config.SBPConfig.matrix_backend`
-    #: selects this storage class (the reference implementation).
-    backend = "dict"
+    The reference implementation of :class:`BlockMatrixBackend`: scalar
+    access only (``supports_batched_kernels`` is False), registered as
+    ``"dict"``.
+    """
 
     __slots__ = ("num_blocks", "rows", "cols")
 

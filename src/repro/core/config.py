@@ -11,7 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Dict, Optional
 
-from repro.blockmodel.blockmodel import MATRIX_BACKENDS
+from repro.blockmodel.backend import available_backends, backend_registry_hint
+
+# Importing the blockmodel package side-effect registers the built-in
+# storage backends, so validation below sees the full registry.
+import repro.blockmodel.blockmodel  # noqa: F401
 
 __all__ = [
     "SBPConfig",
@@ -34,18 +38,26 @@ class MCMCVariant:
 
 
 class MatrixBackend:
-    """Names of the blockmodel storage backends (see :mod:`repro.blockmodel`)."""
+    """Names of the built-in blockmodel storage backends.
+
+    The authoritative list is the backend registry
+    (:func:`repro.blockmodel.backend.available_backends`); validation always
+    consults it live, so backends registered by downstream code are accepted
+    without touching this class.
+    """
 
     #: Hash-map rows + transpose — the reference implementation, O(nnz)
     #: memory, works at any graph size.
     DICT = "dict"
     #: Dense numpy array with cached marginals — enables the vectorized
-    #: batch-Gibbs kernels; memory is O(B²).
+    #: batch kernels; memory is O(B²), capped at ``MAX_DENSE_BLOCKS``.
     CSR = "csr"
+    #: Scipy-free CSR/COO sparse arrays — the vectorized kernels without the
+    #: dense memory bound: O(nnz + B) memory at any block count.
+    SPARSE_CSR = "sparse_csr"
 
-    #: Single source of truth: the storage layer's registry, so config
-    #: validation can never drift from what ``Blockmodel`` accepts.
-    ALL = MATRIX_BACKENDS
+    #: Import-time snapshot of the registry (the built-in backends).
+    ALL = tuple(available_backends())
 
 
 @dataclass(frozen=True)
@@ -80,12 +92,15 @@ class SBPConfig:
         original Graph Challenge python parallelism — used by the reference
         DC-SBP implementation of Table VI).
     matrix_backend:
-        Blockmodel storage: ``"dict"`` (hash-map rows + transpose, the
-        reference implementation) or ``"csr"`` (dense numpy arrays with
-        cached marginals).  With ``"csr"``, the asynchronous Gibbs batches
-        of the hybrid/batch variants are scored with vectorized whole-batch
-        kernels instead of per-candidate Python calls; memory is O(B²), so
-        prefer ``"dict"`` beyond a few tens of thousands of vertices.
+        Blockmodel storage, validated against the backend registry
+        (:mod:`repro.blockmodel.backend`): ``"dict"`` (hash-map rows +
+        transpose, the reference implementation), ``"csr"`` (dense numpy
+        arrays with cached marginals, O(B²) memory, capped at
+        ``MAX_DENSE_BLOCKS``) or ``"sparse_csr"`` (scipy-free CSR/COO
+        arrays, O(nnz + B) memory at any block count).  On the array
+        backends the asynchronous Gibbs batches and the merge phase are
+        scored with vectorized whole-batch kernels instead of
+        per-candidate Python calls.
     hybrid_high_degree_fraction:
         Fraction of vertices (by descending degree) processed sequentially
         by the hybrid MCMC.
@@ -138,9 +153,10 @@ class SBPConfig:
             raise ValueError(
                 f"unknown mcmc_variant {self.mcmc_variant!r}; expected one of {MCMCVariant.ALL}"
             )
-        if self.matrix_backend not in MatrixBackend.ALL:
+        if self.matrix_backend not in available_backends():
             raise ValueError(
-                f"unknown matrix_backend {self.matrix_backend!r}; expected one of {MatrixBackend.ALL}"
+                f"unknown matrix_backend {self.matrix_backend!r}; registered backends: "
+                f"({backend_registry_hint()})"
             )
         if not 0.0 <= self.hybrid_high_degree_fraction <= 1.0:
             raise ValueError("hybrid_high_degree_fraction must lie in [0, 1]")
@@ -257,6 +273,11 @@ def config_preset(name: str) -> SBPConfig:
 
 #: ``"paper"`` is the Graph Challenge reference parameterisation (the library
 #: defaults); ``"fast"`` is the quick test/benchmark tuning of
-#: :meth:`SBPConfig.fast`.
+#: :meth:`SBPConfig.fast`; ``"large_graph"`` selects the true-sparse storage
+#: backend for graphs whose block count exceeds the dense backend's
+#: ``MAX_DENSE_BLOCKS`` ceiling.
 register_config_preset("paper", SBPConfig)
 register_config_preset("fast", SBPConfig.fast)
+register_config_preset(
+    "large_graph", lambda: SBPConfig(matrix_backend=MatrixBackend.SPARSE_CSR)
+)

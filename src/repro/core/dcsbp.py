@@ -114,7 +114,7 @@ def merge_partial_pair(
 
     first_blocks = np.arange(offset, dtype=np.int64)
     merge_target = np.arange(num_blocks, dtype=np.int64)
-    batched = hasattr(blockmodel.matrix, "row_array")
+    batched = getattr(blockmodel.matrix, "supports_batched_kernels", False)
     pair_targets: List[int] = []
     pair_segments: List[tuple] = []  # (block, start, end) into pair_targets
     for block in range(offset, num_blocks):

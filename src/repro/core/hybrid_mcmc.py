@@ -79,7 +79,7 @@ def asynchronous_batch(
     applied afterwards; their recorded ΔDL values are the stale estimates
     (the phase driver recomputes the exact DL at the end of the phase).
     """
-    if hasattr(blockmodel.matrix, "get_many"):
+    if getattr(blockmodel.matrix, "supports_batched_kernels", False):
         return _vectorized_asynchronous_batch(blockmodel, batch, config, rng)
     result = SweepResult()
     # The blockmodel is not mutated while the batch is being evaluated, so it

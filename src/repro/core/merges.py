@@ -23,6 +23,7 @@ import numpy as np
 from repro.blockmodel.blockmodel import Blockmodel, resolve_merge_chain
 from repro.blockmodel.deltas import delta_dl_for_merge, delta_dl_for_merges
 from repro.core.config import SBPConfig
+from repro.utils.rng import BatchedDrawRNG
 
 __all__ = [
     "MergeProposal",
@@ -45,7 +46,7 @@ class MergeProposal:
 def _propose_merge_target(
     blockmodel: Blockmodel,
     block: int,
-    rng: np.random.Generator,
+    rng,
     cumsum_cache: Optional[dict] = None,
 ) -> int:
     """Propose a candidate block to merge ``block`` into.
@@ -54,9 +55,12 @@ def _propose_merge_target(
     ``t``); with probability ``B / (d_t + B)`` jump to a uniformly random
     other block, otherwise follow one of ``t``'s edges.  Falls back to a
     uniform random other block whenever the walk lands back on ``block`` or
-    on an empty neighbourhood.  ``cumsum_cache`` is forwarded to
-    :meth:`Blockmodel.sample_neighbor_block` (the batched path memoizes the
-    dense cumulative sums across the phase's many proposals).
+    on an empty neighbourhood.  ``rng`` is either a
+    :class:`numpy.random.Generator` (the reference path) or a
+    :class:`~repro.utils.rng.BatchedDrawRNG` serving bit-identical draws
+    from bulk prefetches (the batched path).  ``cumsum_cache`` is forwarded
+    to :meth:`Blockmodel.sample_neighbor_block` (the batched path memoizes
+    the per-block cumulative sums across the phase's many proposals).
     """
     num_blocks = blockmodel.num_blocks
     if num_blocks <= 1:
@@ -117,13 +121,14 @@ def propose_merges(
     """Best merge proposal for each of the given blocks (Alg. 1 lines 2-10).
 
     Empty blocks are skipped (nothing to merge).  On a batched backend
-    (``matrix_backend="csr"``) the candidate targets are drawn first — in
-    the same RNG order as the per-proposal reference path — and all of them
-    are scored with one whole-batch :func:`delta_dl_for_merges` call; the
-    deltas are bit-identical to the per-proposal path, so both backends
-    select the same merges under the same seed.
+    (``supports_batched_kernels``: ``"csr"`` / ``"sparse_csr"``) the
+    candidate targets are drawn first — in the same RNG order as the
+    per-proposal reference path — and all of them are scored with one
+    whole-batch :func:`delta_dl_for_merges` call; the deltas are
+    bit-identical to the per-proposal path, so every backend selects the
+    same merges under the same seed.
     """
-    if hasattr(blockmodel.matrix, "row_array"):
+    if getattr(blockmodel.matrix, "supports_batched_kernels", False):
         return _propose_merges_batched(blockmodel, blocks, config, rng)
     proposals: List[MergeProposal] = []
     sizes = blockmodel.block_sizes
@@ -155,25 +160,36 @@ def _propose_merges_batched(
     """Batched-backend :func:`propose_merges`: draw all targets, score once.
 
     Proposal drawing consumes the RNG stream exactly like the reference
-    path (per block, per proposal); only the ΔDL evaluation is batched,
-    through :func:`best_segmented_merges` (whose tie-breaking matches the
-    reference path's strict ``<`` update).
+    path (per block, per proposal), but the walk randoms are served from
+    bulk bit-stream prefetches: :class:`~repro.utils.rng.BatchedDrawRNG`
+    pulls thousands of raw words per ``random_raw`` call and replays
+    NumPy's own word-to-value maps, so the drawn targets — and therefore
+    the selections on the committed golden traces — stay bitwise identical
+    to per-call ``Generator`` draws while eliminating the per-draw
+    ``Generator`` dispatch overhead.  The ΔDL evaluation is batched through
+    :func:`best_segmented_merges` (whose tie-breaking matches the reference
+    path's strict ``<`` update).
     """
     sizes = blockmodel.block_sizes
     cumsum_cache: dict = {}
     cand_targets: List[int] = []
     segments: List[tuple] = []  # (block, start, end) into cand_targets
-    for block in blocks:
-        block = int(block)
-        if sizes[block] <= 0:
-            continue
-        start = len(cand_targets)
-        for _ in range(config.merge_proposals_per_block):
-            target = _propose_merge_target(blockmodel, block, rng, cumsum_cache)
-            if target == block:
+    walk_rng = BatchedDrawRNG.wrap(rng)
+    try:
+        for block in blocks:
+            block = int(block)
+            if sizes[block] <= 0:
                 continue
-            cand_targets.append(target)
-        segments.append((block, start, len(cand_targets)))
+            start = len(cand_targets)
+            for _ in range(config.merge_proposals_per_block):
+                target = _propose_merge_target(blockmodel, block, walk_rng, cumsum_cache)
+                if target == block:
+                    continue
+                cand_targets.append(target)
+            segments.append((block, start, len(cand_targets)))
+    finally:
+        if isinstance(walk_rng, BatchedDrawRNG):
+            walk_rng.sync()
     if not cand_targets:
         return []
     return [

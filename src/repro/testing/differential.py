@@ -2,12 +2,14 @@
 
 The paper's headline guarantee for EDiSt is that the replicated blockmodels
 stay bit-identical across ranks; this repository extends the same discipline
-to its storage backends: under a fixed seed, the ``"dict"`` reference backend
-and the ``"csr"`` vectorized backend must walk through *exactly* the same
-sequence of states — identical merge selections, identical assignments and
-identical description lengths at every phase boundary — through sequential
-SBP, DC-SBP and EDiSt alike.  The guarantee is enforced by tests
-(``tests/differential/``), not by convention.
+to its storage backends: under a fixed seed, every registered backend — the
+``"dict"`` reference, the dense vectorized ``"csr"`` array and the
+true-sparse ``"sparse_csr"`` representation (:data:`ALL_BACKENDS`) — must
+walk through *exactly* the same sequence of states: identical merge
+selections, identical assignments and identical description lengths at
+every phase boundary, through sequential SBP, DC-SBP and EDiSt alike.  The
+guarantee is enforced by tests (``tests/differential/``), not by
+convention.
 
 Two granularities are provided:
 
@@ -43,7 +45,10 @@ from repro.graphs.graph import Graph
 from repro.utils.rng import RngRegistry
 
 __all__ = [
+    "ALL_BACKENDS",
     "BACKEND_PAIR",
+    "REFERENCE_BACKEND",
+    "CANDIDATE_BACKENDS",
     "PhaseSnapshot",
     "PhaseTrace",
     "trace_phases",
@@ -51,13 +56,28 @@ __all__ = [
     "run_sequential",
     "run_dcsbp",
     "run_edist",
+    "run_backends",
     "run_backend_pair",
     "assert_results_identical",
+    "assert_all_results_identical",
     "golden_record",
 ]
 
-#: The backends every differential test compares: the hash-map reference and
-#: the vectorized dense backend.
+#: Every registered storage backend the differential suite compares: the
+#: hash-map reference, the vectorized dense array and the scipy-free
+#: true-sparse representation.  Mirrors the backend registry snapshot.
+ALL_BACKENDS: Tuple[str, ...] = ("dict", "csr", "sparse_csr")
+
+#: The backend whose behaviour defines correctness.
+REFERENCE_BACKEND: str = "dict"
+
+#: The backends compared against the reference (pairwise identity against a
+#: common reference implies identity between the candidates too).
+CANDIDATE_BACKENDS: Tuple[str, ...] = tuple(
+    backend for backend in ALL_BACKENDS if backend != REFERENCE_BACKEND
+)
+
+#: Legacy alias (PR 2 era): the original two-backend comparison.
 BACKEND_PAIR: Tuple[str, str] = ("dict", "csr")
 
 
@@ -175,18 +195,29 @@ def run_edist(graph: Graph, config: SBPConfig, num_ranks: int = 2) -> SBPResult:
     return edist(graph, num_ranks, config)
 
 
+def run_backends(
+    runner: Callable[..., SBPResult],
+    graph: Graph,
+    config: SBPConfig,
+    backends: Tuple[str, ...] = ALL_BACKENDS,
+    **kwargs,
+) -> Dict[str, SBPResult]:
+    """Run ``runner`` once per backend, returning ``{backend: result}``."""
+    return {
+        backend: runner(graph, config.with_overrides(matrix_backend=backend), **kwargs)
+        for backend in backends
+    }
+
+
 def run_backend_pair(
     runner: Callable[..., SBPResult],
     graph: Graph,
     config: SBPConfig,
     **kwargs,
 ) -> Tuple[SBPResult, SBPResult]:
-    """Run ``runner`` once per backend of :data:`BACKEND_PAIR`."""
-    results = [
-        runner(graph, config.with_overrides(matrix_backend=backend), **kwargs)
-        for backend in BACKEND_PAIR
-    ]
-    return results[0], results[1]
+    """Run ``runner`` once per backend of :data:`BACKEND_PAIR` (legacy)."""
+    results = run_backends(runner, graph, config, backends=BACKEND_PAIR, **kwargs)
+    return results[BACKEND_PAIR[0]], results[BACKEND_PAIR[1]]
 
 
 def assert_results_identical(reference: SBPResult, candidate: SBPResult) -> None:
@@ -213,6 +244,23 @@ def assert_results_identical(reference: SBPResult, candidate: SBPResult) -> None
             f"cycle {ref.iteration}: description lengths differ: "
             f"{ref.description_length!r} != {cand.description_length!r}"
         )
+
+
+def assert_all_results_identical(results: Dict[str, SBPResult]) -> None:
+    """Assert every backend's result is bit-identical to the reference's.
+
+    ``results`` maps backend name to result (as returned by
+    :func:`run_backends`); the :data:`REFERENCE_BACKEND` entry anchors the
+    comparison, so pairwise identity between all backends follows.
+    """
+    reference = results[REFERENCE_BACKEND]
+    for backend, candidate in results.items():
+        if backend == REFERENCE_BACKEND:
+            continue
+        try:
+            assert_results_identical(reference, candidate)
+        except AssertionError as exc:
+            raise AssertionError(f"backend {backend!r} diverged from reference: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

@@ -9,11 +9,12 @@ spawning statistically independent streams from a root seed.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+import copy
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["derive_seed", "spawn_rng", "RngRegistry"]
+__all__ = ["derive_seed", "spawn_rng", "RngRegistry", "BatchedDrawRNG"]
 
 
 def derive_seed(root_seed: Optional[int], *path: int) -> int:
@@ -108,3 +109,173 @@ class RngRegistry:
         MPI rank.
         """
         return RngRegistry(self.seed_for(*path))
+
+
+class BatchedDrawRNG:
+    """Bit-exact ``Generator.random()`` / ``integers()`` over bulk raw draws.
+
+    The merge-proposal walks make millions of tiny scalar RNG calls whose
+    *order* is data-dependent (each draw's bound depends on the previous
+    selection), so they cannot be replaced by one vectorized
+    ``Generator.integers(size=...)`` call without changing the stream.  This
+    wrapper gets the batching benefit anyway: it prefetches the underlying
+    bit stream in large blocks (``BitGenerator.random_raw(size=...)`` — one
+    numpy call per thousands of walk draws) and re-implements the exact
+    word-to-value maps NumPy's :class:`~numpy.random.Generator` uses —
+
+    * ``random()``: one 64-bit word, ``(word >> 11) · 2⁻⁵³``;
+    * ``integers(low, high)`` with a range below 2³²: Lemire rejection
+      sampling over buffered 32-bit half-words (the half-word buffer
+      persists across calls, exactly like the generator's internal
+      ``has_uint32`` state);
+    * larger ranges: 64-bit Lemire rejection sampling —
+
+    so every value returned is **bit-identical** to what the wrapped
+    generator would have produced, and the walks' selections match the
+    committed golden traces.  ``tests/test_batched_rng.py`` locks the
+    emulation against NumPy across mixed call sequences.
+
+    Call :meth:`sync` (or use the wrapper as a context manager) when done:
+    it rewinds the wrapped generator to the pre-wrap state and advances it
+    by exactly the words consumed, so subsequent draws *from the generator
+    itself* continue the stream as if every call had gone through it.
+
+    Requires a bit generator with ``advance`` (PCG64, the ``default_rng``
+    family); :meth:`wrap` falls back to returning the plain generator
+    otherwise.
+    """
+
+    __slots__ = (
+        "_generator",
+        "_bit_generator",
+        "_initial_state",
+        "_words",
+        "_pos",
+        "_consumed",
+        "_buf32",
+        "_prefetch",
+        "_synced",
+    )
+
+    def __init__(self, generator: np.random.Generator, prefetch: int = 4096) -> None:
+        self._generator = generator
+        self._bit_generator = generator.bit_generator
+        if not hasattr(self._bit_generator, "advance"):
+            raise TypeError(
+                f"{type(self._bit_generator).__name__} has no advance(); "
+                "BatchedDrawRNG requires a PCG64-family bit generator"
+            )
+        state = copy.deepcopy(self._bit_generator.state)
+        self._initial_state = state
+        self._buf32: Optional[int] = int(state["uinteger"]) if state["has_uint32"] else None
+        self._words: List[int] = []
+        self._pos = 0
+        self._consumed = 0
+        self._prefetch = max(int(prefetch), 16)
+        self._synced = False
+
+    @classmethod
+    def wrap(cls, generator, prefetch: int = 4096):
+        """Return a batched wrapper, or ``generator`` itself if unsupported.
+
+        Already-wrapped inputs (anything without a ``bit_generator``) are
+        returned unchanged, so nesting is harmless.
+        """
+        bit_generator = getattr(generator, "bit_generator", None)
+        if bit_generator is None or not hasattr(bit_generator, "advance"):
+            return generator
+        return cls(generator, prefetch=prefetch)
+
+    # ------------------------------------------------------------------
+    # Raw word supply
+    # ------------------------------------------------------------------
+    def _refill(self) -> None:
+        self._words = self._bit_generator.random_raw(self._prefetch).tolist()
+        self._pos = 0
+
+    def _next64(self) -> int:
+        if self._pos >= len(self._words):
+            self._refill()
+        word = self._words[self._pos]
+        self._pos += 1
+        self._consumed += 1
+        return word
+
+    def _next32(self) -> int:
+        if self._buf32 is not None:
+            value = self._buf32
+            self._buf32 = None
+            return value
+        word = self._next64()
+        # NumPy's buffered next_uint32 serves the low half first.
+        self._buf32 = word >> 32
+        return word & 0xFFFFFFFF
+
+    # ------------------------------------------------------------------
+    # Generator-compatible draws
+    # ------------------------------------------------------------------
+    def random(self) -> float:
+        """Bit-identical to ``Generator.random()``."""
+        return (self._next64() >> 11) * (1.0 / 9007199254740992.0)
+
+    def integers(self, low: int, high: Optional[int] = None) -> int:
+        """Bit-identical to ``Generator.integers(low, high)`` (int64 dtype)."""
+        if high is None:
+            low, high = 0, low
+        span = int(high) - int(low) - 1  # inclusive range, as in NumPy
+        if span < 0:
+            raise ValueError("low >= high")
+        if span == 0:
+            return int(low)
+        if span == 0xFFFFFFFF:
+            # NumPy's special case: a full 32-bit range is one raw half-word.
+            return int(low) + self._next32()
+        if span < 0xFFFFFFFF:
+            # Buffered 32-bit Lemire rejection sampling.
+            span_excl = span + 1
+            m = self._next32() * span_excl
+            leftover = m & 0xFFFFFFFF
+            if leftover < span_excl:
+                threshold = (0x100000000 - span_excl) % span_excl
+                while leftover < threshold:
+                    m = self._next32() * span_excl
+                    leftover = m & 0xFFFFFFFF
+            return int(low) + (m >> 32)
+        # 64-bit Lemire rejection sampling.
+        span_excl = span + 1
+        m = self._next64() * span_excl
+        leftover = m & 0xFFFFFFFFFFFFFFFF
+        if leftover < span_excl:
+            threshold = (0x10000000000000000 - span_excl) % span_excl
+            while leftover < threshold:
+                m = self._next64() * span_excl
+                leftover = m & 0xFFFFFFFFFFFFFFFF
+        return int(low) + (m >> 64)
+
+    # ------------------------------------------------------------------
+    # State hand-back
+    # ------------------------------------------------------------------
+    def sync(self) -> np.random.Generator:
+        """Hand the stream position back to the wrapped generator.
+
+        The generator is rewound to its pre-wrap state, advanced by exactly
+        the number of 64-bit words consumed, and its half-word buffer set to
+        the emulation's — from here on it continues the stream bit-for-bit
+        as if it had served every draw itself.  Idempotent.
+        """
+        if not self._synced:
+            self._bit_generator.state = self._initial_state
+            if self._consumed:
+                self._bit_generator.advance(self._consumed)
+            state = self._bit_generator.state
+            state["has_uint32"] = 1 if self._buf32 is not None else 0
+            state["uinteger"] = int(self._buf32) if self._buf32 is not None else 0
+            self._bit_generator.state = state
+            self._synced = True
+        return self._generator
+
+    def __enter__(self) -> "BatchedDrawRNG":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.sync()

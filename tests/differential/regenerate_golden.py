@@ -17,9 +17,10 @@ sys.path.insert(0, str(Path(__file__).parent))
 from conftest import diff_config, diff_graph_a, diff_graph_b  # noqa: E402,F401
 
 from repro.testing.differential import (  # noqa: E402
-    assert_results_identical,
+    REFERENCE_BACKEND,
+    assert_all_results_identical,
     golden_record,
-    run_backend_pair,
+    run_backends,
     run_sequential,
 )
 
@@ -33,11 +34,12 @@ def main() -> None:
         "sbm-b": diff_graph_b.__wrapped__(),
     }
     for name, graph in graphs.items():
-        reference, candidate = run_backend_pair(run_sequential, graph, config)
-        assert_results_identical(reference, candidate)
-        record = golden_record(reference)
+        results = run_backends(run_sequential, graph, config)
+        assert_all_results_identical(results)
+        record = golden_record(results[REFERENCE_BACKEND])
         path = golden_dir / f"{name}.json"
         path.write_text(json.dumps(record, indent=1) + "\n")
+        reference = results[REFERENCE_BACKEND]
         print(f"wrote {path} (B={record['num_blocks']}, DL={reference.description_length:.3f})")
 
 

@@ -2,9 +2,9 @@
 
 The acceptance bar for the ``repro.api`` redesign: under fixed seeds,
 ``partition(graph, strategy=s)`` reproduces the legacy entry points exactly
-(assignments, description lengths, full history) for every strategy and both
-storage backends, and the deprecated top-level shims route through the
-facade without perturbing results.
+(assignments, description lengths, full history) for every strategy and
+every registered storage backend, and the deprecated top-level shims route
+through the facade without perturbing results.
 """
 
 from __future__ import annotations
@@ -20,7 +20,7 @@ from repro.core.dcsbp import divide_and_conquer_sbp
 from repro.core.edist import edist
 from repro.core.reference import reference_dcsbp
 from repro.core.sbp import stochastic_block_partition
-from repro.testing.differential import BACKEND_PAIR, assert_results_identical
+from repro.testing.differential import ALL_BACKENDS, assert_results_identical
 
 #: (strategy name, legacy callable, needs ranks)
 CASES = [
@@ -32,7 +32,7 @@ CASES = [
 
 
 @pytest.mark.parametrize("strategy,legacy,num_ranks", CASES, ids=[c[0] for c in CASES])
-@pytest.mark.parametrize("backend", BACKEND_PAIR)
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_facade_matches_legacy_entry_point(
     diff_graph_a, diff_config, strategy, legacy, num_ranks, backend
 ):

@@ -1,9 +1,12 @@
 """Golden-file regression partitions for two small SBM graphs.
 
-Both backends must reproduce the committed partition exactly — block count,
-assignment, and description length (stored as ``float.hex`` and compared
-bitwise).  This pins the whole pipeline (proposal streams, merge selections,
-MCMC acceptance, golden-ratio bracketing) against unintended drift.
+Every registered backend must reproduce the committed partition exactly —
+block count, assignment, and description length (stored as ``float.hex``
+and compared bitwise).  This pins the whole pipeline (proposal streams,
+merge selections, MCMC acceptance, golden-ratio bracketing) against
+unintended drift; the golden files were recorded before the ``sparse_csr``
+backend existed, so passing them is also the proof that the new backend
+changed nothing.
 
 To regenerate after an *intentional* behaviour change::
 
@@ -15,7 +18,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.testing.differential import golden_record, run_backend_pair, run_sequential
+from repro.testing.differential import (
+    ALL_BACKENDS,
+    golden_record,
+    run_backends,
+    run_sequential,
+)
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
@@ -24,11 +32,11 @@ CASES = {"sbm-a": "diff_graph_a", "sbm-b": "diff_graph_b"}
 
 
 @pytest.mark.parametrize("name", sorted(CASES))
-def test_both_backends_match_golden_partition(name, request, diff_config):
+def test_every_backend_matches_golden_partition(name, request, diff_config):
     graph = request.getfixturevalue(CASES[name])
     golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
-    reference, candidate = run_backend_pair(run_sequential, graph, diff_config)
-    for backend, result in (("dict", reference), ("csr", candidate)):
+    results = run_backends(run_sequential, graph, diff_config, backends=ALL_BACKENDS)
+    for backend, result in results.items():
         record = golden_record(result)
         assert record["num_blocks"] == golden["num_blocks"], f"{backend}: block count drifted"
         assert record["description_length_hex"] == golden["description_length_hex"], (

@@ -3,7 +3,8 @@
 Where ``test_cross_backend`` checks whole pipelines, these tests pin down
 *where* equivalence holds: the raw merge proposals (including their ΔDL
 floats, compared bitwise), every block-merge and MCMC boundary of a traced
-run, and the batched merge kernel against its per-proposal reference.
+run, and the batched merge kernel against its per-proposal reference — for
+every candidate backend against the ``"dict"`` reference.
 """
 
 import numpy as np
@@ -12,48 +13,56 @@ import pytest
 from repro.blockmodel.blockmodel import Blockmodel
 from repro.blockmodel.deltas import delta_dl_for_merge, delta_dl_for_merges
 from repro.core.merges import propose_merges
-from repro.testing.differential import assert_traces_identical, trace_phases
+from repro.testing.differential import (
+    CANDIDATE_BACKENDS,
+    assert_traces_identical,
+    trace_phases,
+)
 
 
 class TestPhaseTraces:
-    def test_traces_identical_dense_graph(self, diff_graph_a, diff_config):
+    @pytest.mark.parametrize("backend", CANDIDATE_BACKENDS)
+    def test_traces_identical_dense_graph(self, diff_graph_a, diff_config, backend):
         reference = trace_phases(diff_graph_a, diff_config.with_overrides(matrix_backend="dict"))
-        candidate = trace_phases(diff_graph_a, diff_config.with_overrides(matrix_backend="csr"))
+        candidate = trace_phases(diff_graph_a, diff_config.with_overrides(matrix_backend=backend))
         assert reference.snapshots, "trace must cover at least one cycle"
         assert_traces_identical(reference, candidate)
 
-    def test_traces_identical_sparse_graph(self, diff_graph_b, diff_config):
+    @pytest.mark.parametrize("backend", CANDIDATE_BACKENDS)
+    def test_traces_identical_sparse_graph(self, diff_graph_b, diff_config, backend):
         reference = trace_phases(diff_graph_b, diff_config.with_overrides(matrix_backend="dict"))
-        candidate = trace_phases(diff_graph_b, diff_config.with_overrides(matrix_backend="csr"))
+        candidate = trace_phases(diff_graph_b, diff_config.with_overrides(matrix_backend=backend))
         assert_traces_identical(reference, candidate)
 
 
 class TestMergeSelections:
-    def test_proposals_identical_for_block_subsets(self, diff_graph_a, diff_config):
-        """EDiSt ranks propose for owned subsets; both backends must agree."""
+    @pytest.mark.parametrize("backend", CANDIDATE_BACKENDS)
+    def test_proposals_identical_for_block_subsets(self, diff_graph_a, diff_config, backend):
+        """EDiSt ranks propose for owned subsets; all backends must agree."""
         bm_dict = Blockmodel.from_graph(diff_graph_a, num_blocks=24, matrix_backend="dict")
-        bm_csr = Blockmodel.from_graph(diff_graph_a, num_blocks=24, matrix_backend="csr")
+        bm_cand = Blockmodel.from_graph(diff_graph_a, num_blocks=24, matrix_backend=backend)
         for rank, size in ((0, 3), (1, 3), (2, 3)):
             owned = range(rank, 24, size)
             p_dict = propose_merges(bm_dict, owned, diff_config, np.random.default_rng(rank))
-            p_csr = propose_merges(bm_csr, owned, diff_config, np.random.default_rng(rank))
+            p_cand = propose_merges(bm_cand, owned, diff_config, np.random.default_rng(rank))
             # MergeProposal is a frozen dataclass: == compares (block, target,
             # delta_dl) exactly, i.e. the ΔDL floats bitwise.
-            assert p_dict == p_csr
+            assert p_dict == p_cand
 
-    def test_batched_kernel_matches_scalar_bitwise(self, diff_graph_b):
+    @pytest.mark.parametrize("backend", CANDIDATE_BACKENDS)
+    def test_batched_kernel_matches_scalar_bitwise(self, diff_graph_b, backend):
         bm_dict = Blockmodel.from_graph(diff_graph_b, num_blocks=20, matrix_backend="dict")
-        bm_csr = Blockmodel.from_graph(diff_graph_b, num_blocks=20, matrix_backend="csr")
+        bm_cand = Blockmodel.from_graph(diff_graph_b, num_blocks=20, matrix_backend=backend)
         rng = np.random.default_rng(9)
         from_blocks = rng.integers(0, 20, size=200)
         to_blocks = rng.integers(0, 20, size=200)
-        batch = delta_dl_for_merges(bm_csr, from_blocks, to_blocks)
-        batch_model = delta_dl_for_merges(bm_csr, from_blocks, to_blocks, include_model_term=True)
+        batch = delta_dl_for_merges(bm_cand, from_blocks, to_blocks)
+        batch_model = delta_dl_for_merges(bm_cand, from_blocks, to_blocks, include_model_term=True)
         for k in range(200):
             r, s = int(from_blocks[k]), int(to_blocks[k])
             scalar_dict = delta_dl_for_merge(bm_dict, r, s)
-            scalar_csr = delta_dl_for_merge(bm_csr, r, s)
-            assert batch[k] == scalar_dict == scalar_csr
+            scalar_cand = delta_dl_for_merge(bm_cand, r, s)
+            assert batch[k] == scalar_dict == scalar_cand
             assert batch_model[k] == delta_dl_for_merge(bm_dict, r, s, include_model_term=True)
 
     def test_batched_kernel_requires_batched_backend(self, diff_graph_a):
@@ -61,28 +70,31 @@ class TestMergeSelections:
         with pytest.raises(TypeError):
             delta_dl_for_merges(bm, np.array([0]), np.array([1]))
 
-    def test_batched_kernel_self_merge_is_zero(self, diff_graph_a):
-        bm = Blockmodel.from_graph(diff_graph_a, num_blocks=6, matrix_backend="csr")
+    @pytest.mark.parametrize("backend", CANDIDATE_BACKENDS)
+    def test_batched_kernel_self_merge_is_zero(self, diff_graph_a, backend):
+        bm = Blockmodel.from_graph(diff_graph_a, num_blocks=6, matrix_backend=backend)
         deltas = delta_dl_for_merges(bm, np.array([2, 1, 3]), np.array([2, 1, 0]))
         assert deltas[0] == 0.0 and deltas[1] == 0.0
         assert deltas[2] == delta_dl_for_merge(bm, 3, 0)
 
-    def test_batched_kernel_empty_batch(self, diff_graph_a):
-        bm = Blockmodel.from_graph(diff_graph_a, num_blocks=6, matrix_backend="csr")
+    @pytest.mark.parametrize("backend", CANDIDATE_BACKENDS)
+    def test_batched_kernel_empty_batch(self, diff_graph_a, backend):
+        bm = Blockmodel.from_graph(diff_graph_a, num_blocks=6, matrix_backend=backend)
         assert delta_dl_for_merges(bm, np.empty(0, np.int64), np.empty(0, np.int64)).shape == (0,)
 
 
 class TestBackendPlumbing:
-    def test_backend_survives_clone_paths(self, diff_graph_a):
+    @pytest.mark.parametrize("backend", CANDIDATE_BACKENDS)
+    def test_backend_survives_clone_paths(self, diff_graph_a, backend):
         """matrix_backend must survive copy / merges / rebuild round-trips —
         the clone paths the golden-ratio search restarts run through."""
-        bm = Blockmodel.from_graph(diff_graph_a, num_blocks=12, matrix_backend="csr")
-        assert bm.copy().matrix_backend == "csr"
+        bm = Blockmodel.from_graph(diff_graph_a, num_blocks=12, matrix_backend=backend)
+        assert bm.copy().matrix_backend == backend
         merge_target = np.arange(12)
         merge_target[11] = 0
-        assert bm.apply_block_merges(merge_target).matrix_backend == "csr"
+        assert bm.apply_block_merges(merge_target).matrix_backend == backend
         clone = bm.copy()
         clone.refresh_derived_state()
-        assert clone.matrix_backend == "csr"
+        assert clone.matrix_backend == backend
         # check_consistency rebuilds internally with the model's own backend.
         clone.check_consistency()

@@ -1,8 +1,9 @@
-"""Property-based cross-backend tests: CSRBlockMatrix vs SparseBlockMatrix.
+"""Property-based cross-backend tests: array backends vs SparseBlockMatrix.
 
-Random interleavings of the mutation and query APIs must leave the two
-storage backends in identical states: same matrix, same cached marginals,
-same entropy (description length, compared **exactly** — both backends emit
+Random interleavings of the mutation and query APIs must leave every
+storage backend (dense ``csr`` and true-sparse ``sparse_csr``) in states
+identical to the hash-map reference: same matrix, same cached marginals,
+same entropy (description length, compared **exactly** — all backends emit
 identically-ordered non-zero arrays, so the vectorized likelihood reduction
 is bit-identical).
 
@@ -16,21 +17,24 @@ import pytest
 pytest.importorskip("hypothesis")
 from hypothesis import given, settings, strategies as st  # noqa: E402
 
+from repro.blockmodel.backend import get_backend  # noqa: E402
 from repro.blockmodel.blockmodel import Blockmodel  # noqa: E402
-from repro.blockmodel.csr_matrix import CSRBlockMatrix  # noqa: E402
 from repro.blockmodel.sparse_matrix import SparseBlockMatrix  # noqa: E402
 from repro.graphs.graph import Graph  # noqa: E402
 
 MATRIX_SIZE = 6
 
+#: The vectorized backends exercised against the hash-map reference.
+ARRAY_BACKENDS = ("csr", "sparse_csr")
 
-def _assert_matrices_equal(csr: CSRBlockMatrix, ref: SparseBlockMatrix) -> None:
-    assert np.array_equal(csr.to_dense(), ref.to_dense())
-    assert np.array_equal(csr.row_sums(), ref.row_sums())
-    assert np.array_equal(csr.col_sums(), ref.col_sums())
-    assert csr.total() == ref.total()
-    assert csr.nnz() == ref.nnz()
-    csr.check_consistent()
+
+def _assert_matrices_equal(candidate, ref: SparseBlockMatrix) -> None:
+    assert np.array_equal(candidate.to_dense(), ref.to_dense())
+    assert np.array_equal(candidate.row_sums(), ref.row_sums())
+    assert np.array_equal(candidate.col_sums(), ref.col_sums())
+    assert candidate.total() == ref.total()
+    assert candidate.nnz() == ref.nnz()
+    candidate.check_consistent()
     ref.check_consistent()
 
 
@@ -81,52 +85,54 @@ def graph_move_sequences(draw):
 # ----------------------------------------------------------------------
 # Matrix-level interleavings
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ARRAY_BACKENDS)
 @given(_matrix_ops)
 @settings(max_examples=60, deadline=None)
-def test_matrix_op_interleavings_keep_backends_identical(ops):
-    csr = CSRBlockMatrix(MATRIX_SIZE)
+def test_matrix_op_interleavings_keep_backends_identical(backend, ops):
+    candidate = get_backend(backend)(MATRIX_SIZE)
     ref = SparseBlockMatrix(MATRIX_SIZE)
     for op, payload in ops:
         if op == "add_many":
             rows = np.asarray([i for i, _, _ in payload], dtype=np.int64)
             cols = np.asarray([j for _, j, _ in payload], dtype=np.int64)
             deltas = np.asarray([w for _, _, w in payload], dtype=np.int64)
-            csr.add_many(rows, cols, deltas)
+            candidate.add_many(rows, cols, deltas)
             # The reference backend has no batched API: the same logical
             # update goes through scalar adds.
             for i, j, w in payload:
                 ref.add(i, j, w)
         elif op == "set":
             i, j, value = payload
-            csr.set(i, j, value)
+            candidate.set(i, j, value)
             ref.set(i, j, value)
         else:  # get_many
             rows = np.asarray([i for i, _ in payload], dtype=np.int64)
             cols = np.asarray([j for _, j in payload], dtype=np.int64)
-            batched = csr.get_many(rows, cols)
+            batched = candidate.get_many(rows, cols)
             scalars = [ref.get(i, j) for i, j in payload]
             assert batched.tolist() == scalars
-        _assert_matrices_equal(csr, ref)
+        _assert_matrices_equal(candidate, ref)
 
 
 # ----------------------------------------------------------------------
 # Blockmodel-level interleavings
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ARRAY_BACKENDS)
 @given(graph_move_sequences())
 @settings(max_examples=40, deadline=None)
-def test_move_vertex_interleavings_keep_backends_identical(data):
+def test_move_vertex_interleavings_keep_backends_identical(backend, data):
     graph, assignment, num_blocks, moves = data
-    bm_csr = Blockmodel.from_assignment(graph, assignment, num_blocks, matrix_backend="csr")
+    bm_cand = Blockmodel.from_assignment(graph, assignment, num_blocks, matrix_backend=backend)
     bm_ref = Blockmodel.from_assignment(graph, assignment, num_blocks, matrix_backend="dict")
-    _assert_matrices_equal(bm_csr.matrix, bm_ref.matrix)
+    _assert_matrices_equal(bm_cand.matrix, bm_ref.matrix)
     for vertex, target in moves:
-        bm_csr.move_vertex(vertex, target)
+        bm_cand.move_vertex(vertex, target)
         bm_ref.move_vertex(vertex, target)
-        assert np.array_equal(bm_csr.assignment, bm_ref.assignment)
-        assert np.array_equal(bm_csr.block_out_degrees, bm_ref.block_out_degrees)
-        assert np.array_equal(bm_csr.block_in_degrees, bm_ref.block_in_degrees)
-        assert np.array_equal(bm_csr.block_sizes, bm_ref.block_sizes)
-        _assert_matrices_equal(bm_csr.matrix, bm_ref.matrix)
-        # Both backends emit identically-ordered non-zero arrays, so the
+        assert np.array_equal(bm_cand.assignment, bm_ref.assignment)
+        assert np.array_equal(bm_cand.block_out_degrees, bm_ref.block_out_degrees)
+        assert np.array_equal(bm_cand.block_in_degrees, bm_ref.block_in_degrees)
+        assert np.array_equal(bm_cand.block_sizes, bm_ref.block_sizes)
+        _assert_matrices_equal(bm_cand.matrix, bm_ref.matrix)
+        # All backends emit identically-ordered non-zero arrays, so the
         # vectorized entropy reduction must agree to the last bit.
-        assert bm_csr.description_length() == bm_ref.description_length()
+        assert bm_cand.description_length() == bm_ref.description_length()

@@ -1,0 +1,133 @@
+"""Bit-exactness tests for :class:`repro.utils.rng.BatchedDrawRNG`.
+
+The batched merge-proposal walks replace per-call ``Generator`` draws with
+bulk ``random_raw`` prefetches plus a re-implementation of NumPy's
+word-to-value maps (53-bit doubles, buffered 32-bit Lemire, 64-bit Lemire).
+These tests pin that emulation against the real generator across mixed call
+sequences, and verify the state hand-back (``sync``) leaves the wrapped
+generator exactly where sequential consumption would have.
+"""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import BatchedDrawRNG
+
+
+def _mixed_sequence(rng, steps, seed):
+    """Draw a deterministic mixed random/integers sequence, return values."""
+    plan = np.random.default_rng(seed)  # independent: only plans the calls
+    out = []
+    for _ in range(steps):
+        kind = int(plan.integers(5))
+        if kind == 0:
+            out.append(rng.random())
+        elif kind == 1:
+            out.append(int(rng.integers(0, int(plan.integers(1, 50)))))
+        elif kind == 2:
+            out.append(int(rng.integers(1, int(plan.integers(2, 100)))))
+        elif kind == 3:
+            out.append(int(rng.integers(0, int(plan.integers(2**20, 2**33)))))
+        else:
+            out.append(int(rng.integers(0, int(plan.integers(2**40, 2**62)))))
+    return out
+
+
+class TestEmulationExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 7, 1234, 987654321])
+    def test_mixed_sequence_matches_generator(self, seed):
+        control = np.random.default_rng(seed)
+        wrapped = BatchedDrawRNG.wrap(np.random.default_rng(seed), prefetch=64)
+        assert isinstance(wrapped, BatchedDrawRNG)
+        expected = _mixed_sequence(control, 400, seed=99)
+        actual = _mixed_sequence(wrapped, 400, seed=99)
+        assert actual == expected
+
+    def test_single_argument_integers_form(self):
+        control = np.random.default_rng(5)
+        wrapped = BatchedDrawRNG.wrap(np.random.default_rng(5))
+        for _ in range(50):
+            assert wrapped.integers(17) == int(control.integers(17))
+
+    def test_degenerate_range_consumes_no_words(self):
+        wrapped = BatchedDrawRNG.wrap(np.random.default_rng(0))
+        assert wrapped.integers(3, 4) == 3  # single-value range
+        assert wrapped._consumed == 0
+
+    @pytest.mark.parametrize("bound", [2**32 - 1, 2**32, 2**32 + 1])
+    def test_32_bit_range_boundaries_match_generator(self, bound):
+        """NumPy switches algorithms around a span of exactly 2^32; the
+        emulation must track each branch, including the raw-word case."""
+        control = np.random.default_rng(13)
+        wrapped = BatchedDrawRNG.wrap(np.random.default_rng(13))
+        for _ in range(40):
+            assert wrapped.integers(0, bound) == int(control.integers(0, bound))
+        # The stream position must agree afterwards too.
+        wrapped.sync()
+
+    def test_starts_mid_stream_with_buffered_half_word(self):
+        """Wrapping a generator whose uint32 buffer is non-empty must pick
+        the buffered half-word up, exactly like the generator itself."""
+        control = np.random.default_rng(11)
+        subject = np.random.default_rng(11)
+        # One small-bound draw leaves a buffered half-word behind.
+        assert int(control.integers(0, 7)) == int(subject.integers(0, 7))
+        assert subject.bit_generator.state["has_uint32"] == 1
+        wrapped = BatchedDrawRNG.wrap(subject)
+        expected = _mixed_sequence(control, 100, seed=3)
+        actual = _mixed_sequence(wrapped, 100, seed=3)
+        assert actual == expected
+
+
+class TestStateHandBack:
+    @pytest.mark.parametrize("steps", [0, 1, 37, 250])
+    def test_sync_positions_generator_exactly(self, steps):
+        control = np.random.default_rng(7)
+        subject = np.random.default_rng(7)
+        _mixed_sequence(control, steps, seed=42)
+        wrapped = BatchedDrawRNG.wrap(subject, prefetch=32)
+        _mixed_sequence(wrapped, steps, seed=42)
+        wrapped.sync()
+        # Post-sync, the *generator itself* must continue the stream.
+        follow_control = _mixed_sequence(control, 60, seed=8)
+        follow_subject = _mixed_sequence(subject, 60, seed=8)
+        assert follow_subject == follow_control
+
+    def test_sync_is_idempotent(self):
+        subject = np.random.default_rng(1)
+        wrapped = BatchedDrawRNG.wrap(subject)
+        wrapped.random()
+        wrapped.sync()
+        state = subject.bit_generator.state
+        wrapped.sync()
+        assert subject.bit_generator.state == state
+
+    def test_context_manager_syncs(self):
+        control = np.random.default_rng(3)
+        subject = np.random.default_rng(3)
+        control.random()
+        with BatchedDrawRNG.wrap(subject) as wrapped:
+            wrapped.random()
+        assert subject.random() == control.random()
+
+    def test_repeated_wrap_sessions_interleave_with_direct_draws(self):
+        control = np.random.default_rng(21)
+        subject = np.random.default_rng(21)
+        for session in range(4):
+            expected = _mixed_sequence(control, 30, seed=session)
+            with BatchedDrawRNG.wrap(subject) as wrapped:
+                actual = _mixed_sequence(wrapped, 30, seed=session)
+            assert actual == expected
+            # Direct generator draws between wrap sessions.
+            assert subject.random() == control.random()
+            assert int(subject.integers(0, 9)) == int(control.integers(0, 9))
+
+
+class TestFallback:
+    def test_wrap_returns_generator_without_advance(self):
+        generator = np.random.Generator(np.random.MT19937(0))
+        assert BatchedDrawRNG.wrap(generator) is generator
+
+    def test_wrap_passes_through_non_generators(self):
+        wrapped = BatchedDrawRNG.wrap(np.random.default_rng(0))
+        assert BatchedDrawRNG.wrap(wrapped) is wrapped
