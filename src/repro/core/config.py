@@ -12,15 +12,19 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Dict, Optional
 
 from repro.blockmodel.backend import available_backends, backend_registry_hint
+from repro.mpi.transport import available_transports, transport_registry_hint
 
 # Importing the blockmodel package side-effect registers the built-in
-# storage backends, so validation below sees the full registry.
+# storage backends, so validation below sees the full registry; likewise
+# the mpi package registers the built-in transports (self/threads/processes).
 import repro.blockmodel.blockmodel  # noqa: F401
+import repro.mpi  # noqa: F401
 
 __all__ = [
     "SBPConfig",
     "MCMCVariant",
     "MatrixBackend",
+    "TransportName",
     "register_config_preset",
     "config_preset",
     "available_presets",
@@ -58,6 +62,28 @@ class MatrixBackend:
 
     #: Import-time snapshot of the registry (the built-in backends).
     ALL = tuple(available_backends())
+
+
+class TransportName:
+    """Names of the built-in distributed transports.
+
+    The authoritative list is the transport registry
+    (:func:`repro.mpi.transport.available_transports`); validation always
+    consults it live, so transports registered by downstream code are
+    accepted without touching this class.
+    """
+
+    #: Single rank on the calling thread; what every ``num_ranks == 1``
+    #: launch uses regardless of the configured transport.
+    SELF = "self"
+    #: One Python thread per rank — zero startup cost, shared objects, but
+    #: the GIL serialises compute.  The default.
+    THREADS = "threads"
+    #: One OS process per rank — real CPU parallelism; graph arguments are
+    #: mapped once via ``multiprocessing.shared_memory``.
+    PROCESSES = "processes"
+
+    ALL = (SELF, THREADS, PROCESSES)
 
 
 @dataclass(frozen=True)
@@ -101,6 +127,14 @@ class SBPConfig:
         backends the asynchronous Gibbs batches and the merge phase are
         scored with vectorized whole-batch kernels instead of
         per-candidate Python calls.
+    transport:
+        Where the simulated MPI ranks physically run, validated against the
+        transport registry (:mod:`repro.mpi.transport`): ``"threads"`` (one
+        thread per rank — cheap to launch, GIL-bound compute) or
+        ``"processes"`` (one OS process per rank — real CPU parallelism,
+        graph shipped once via shared memory).  Single-rank runs always use
+        the calling thread whatever this says.  Under a fixed seed the
+        transports produce bit-identical partitions.
     hybrid_high_degree_fraction:
         Fraction of vertices (by descending degree) processed sequentially
         by the hybrid MCMC.
@@ -130,6 +164,7 @@ class SBPConfig:
     min_blocks: int = 1
     mcmc_variant: str = MCMCVariant.HYBRID
     matrix_backend: str = MatrixBackend.DICT
+    transport: str = TransportName.THREADS
     hybrid_high_degree_fraction: float = 0.25
     hybrid_batch_size: int = 64
     dcsbp_combine_threshold: int = 4
@@ -157,6 +192,11 @@ class SBPConfig:
             raise ValueError(
                 f"unknown matrix_backend {self.matrix_backend!r}; registered backends: "
                 f"({backend_registry_hint()})"
+            )
+        if self.transport not in available_transports():
+            raise ValueError(
+                f"unknown transport {self.transport!r}; registered transports: "
+                f"({transport_registry_hint()})"
             )
         if not 0.0 <= self.hybrid_high_degree_fraction <= 1.0:
             raise ValueError("hybrid_high_degree_fraction must lie in [0, 1]")

@@ -161,6 +161,12 @@ class RunContext:
     def should_stop(self) -> bool:
         """True once the run was cancelled or ran past its deadline."""
         root = self._root()
+        if root is not self:
+            # Delegate to the root's *method*, not its attributes: subclassed
+            # roots (e.g. the multiprocess transport's bridged context, which
+            # forwards the question to the launcher process) must see the
+            # question even when it arrives through a silent view.
+            return root.should_stop()
         if root._stop_reason is not None:
             return True
         if root.timeout is not None:

@@ -276,7 +276,10 @@ def divide_and_conquer_sbp(
     config = config or SBPConfig()
     total = Timer()
     total.start()
-    run = run_distributed(num_ranks, dcsbp_rank_program, graph, config, run_context=run_context)
+    run = run_distributed(
+        num_ranks, dcsbp_rank_program, graph, config,
+        run_context=run_context, transport=config.transport,
+    )
     total.stop()
 
     root = run.results[0]

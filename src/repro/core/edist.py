@@ -281,6 +281,7 @@ def edist(
     run = run_distributed(
         num_ranks, edist_rank_program, graph, config,
         run_context=run_context, lifecycle_sync=lifecycle_sync,
+        transport=config.transport,
     )
     total.stop()
 

@@ -11,7 +11,11 @@ Submodules
 ``graph``
     The immutable :class:`Graph` container and construction helpers.
 ``io``
-    Plain-text edge-list and Matrix-Market-style readers/writers.
+    Plain-text edge-list and Matrix-Market-style readers/writers, including
+    sharded/streaming per-rank edge ingestion (``load_edges_sharded``).
+``shm``
+    Shared-memory graph export/attach used by the multiprocess transport to
+    map one physical copy of the adjacency arrays into every rank.
 ``partition_ops``
     Vertex partitioning strategies (round-robin, degree-sorted balanced) and
     subgraph extraction, plus island-vertex accounting.
@@ -29,7 +33,14 @@ from repro.graphs.partition_ops import (
     island_fraction,
     round_robin_assignment,
 )
-from repro.graphs.io import load_edge_list, save_edge_list, load_matrix_market, save_matrix_market
+from repro.graphs.io import (
+    load_edge_list,
+    load_edges_sharded,
+    save_edge_list,
+    load_matrix_market,
+    save_matrix_market,
+)
+from repro.graphs.shm import SharedGraph, share_graph
 
 __all__ = [
     "Graph",
@@ -40,7 +51,10 @@ __all__ = [
     "island_vertices",
     "island_fraction",
     "load_edge_list",
+    "load_edges_sharded",
     "save_edge_list",
     "load_matrix_market",
     "save_matrix_market",
+    "SharedGraph",
+    "share_graph",
 ]

@@ -18,6 +18,7 @@ from repro.graphs.graph import Graph
 
 __all__ = [
     "load_edge_list",
+    "load_edges_sharded",
     "save_edge_list",
     "load_truth_file",
     "save_truth_file",
@@ -85,6 +86,56 @@ def load_edge_list(
     if truth_path is not None:
         truth = load_truth_file(truth_path, num_vertices, one_indexed=one_indexed)
     return Graph(num_vertices, src, dst, w, true_assignment=truth, name=name or str(path))
+
+
+def load_edges_sharded(
+    path: PathLike,
+    rank: int,
+    size: int,
+    one_indexed: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stream rank ``rank``'s shard of a TSV/CSV edge list.
+
+    Deals every kept edge round-robin across ``size`` ranks (edge ``i`` goes
+    to rank ``i % size``), so the shards partition the file exactly:
+    concatenating the shards of all ranks in rank order, interleaved,
+    reproduces :func:`load_edge_list`'s edge order.  The file is read
+    line-by-line and only the local shard is materialised, so ``size`` ranks
+    ingesting a large edge list each hold ~``1/size`` of it instead of a
+    full copy — the streaming complement to shipping an already-built
+    :class:`~repro.graphs.graph.Graph` through shared memory.
+
+    Accepts the same format as :func:`load_edge_list` (2 or 3 columns,
+    ``#``/``%`` comments, optional gzip).  Returns ``(src, dst, weight)``
+    int64 arrays for the local shard.
+    """
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    if not 0 <= rank < size:
+        raise ValueError(f"rank must lie in [0, {size}), got {rank}")
+    srcs: List[int] = []
+    dsts: List[int] = []
+    weights: List[int] = []
+    index = 0
+    with _open(path, "r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            mine = index % size == rank
+            index += 1
+            if not mine:
+                continue
+            parts = line.replace(",", " ").split()
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            weights.append(int(float(parts[2])) if len(parts) > 2 else 1)
+    offset = 1 if one_indexed else 0
+    return (
+        np.asarray(srcs, dtype=np.int64) - offset,
+        np.asarray(dsts, dtype=np.int64) - offset,
+        np.asarray(weights, dtype=np.int64),
+    )
 
 
 def save_truth_file(assignment: np.ndarray, path: PathLike, one_indexed: bool = True) -> None:

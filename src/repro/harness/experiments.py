@@ -371,6 +371,48 @@ def run_fig4(settings: Optional[ExperimentSettings] = None) -> List[dict]:
     return rows
 
 
+def run_fig4_real(
+    settings: Optional[ExperimentSettings] = None,
+    transports: tuple = ("threads", "processes"),
+) -> List[dict]:
+    """Fig. 4 companion: *wall-clock* EDiSt strong scaling, per transport.
+
+    The modelled curve of :func:`run_fig4` estimates what a cluster would do;
+    this one measures what this machine actually does, running the same
+    rank grid once per transport.  On the ``"threads"`` transport the ranks
+    share the GIL, so wall-clock *grows* with ranks (total replicated work);
+    on ``"processes"`` the ranks occupy real cores, so with enough of them
+    the curve bends the way Fig. 4 does.  Rows carry the same columns as the
+    modelled curve (``modeled_seconds`` is NaN here) plus a ``curve`` tag
+    (``"real-threads"`` / ``"real-processes"``), so the two curves merge
+    into one ``fig4_strong_scaling`` artifact.
+    """
+    settings = settings or ExperimentSettings.from_environment()
+    rows = []
+    for graph_id in settings.scaling_graph_ids:
+        graph = _cached_graph("scaling", graph_id, settings.scaling_scale, settings.seed)
+        for transport in transports:
+            config = settings.config.with_overrides(transport=transport)
+            baseline_time = None
+            for ranks in settings.scaling_rank_counts:
+                result = run_algorithm("edist", graph, ranks, config)
+                measured = result.runtime_seconds
+                if baseline_time is None:
+                    baseline_time = measured
+                rows.append(
+                    {
+                        "curve": f"real-{transport}",
+                        "graph": graph_id,
+                        "num_ranks": ranks,
+                        "nmi": round(_nmi_or_nan(result), 3),
+                        "measured_seconds": round(measured, 3),
+                        "modeled_seconds": float("nan"),
+                        "speedup_vs_1_rank": round(baseline_time / measured, 2) if measured > 0 else float("nan"),
+                    }
+                )
+    return rows
+
+
 def run_fig5(settings: Optional[ExperimentSettings] = None, nmi_tolerance: float = 0.05) -> List[dict]:
     """Fig. 5: best accuracy-preserving DC-SBP vs EDiSt at the largest rank count.
 

@@ -1,44 +1,85 @@
-"""An in-process, MPI-style communication substrate.
+"""An in-process, MPI-style communication substrate with pluggable transports.
 
 The paper's algorithms are written against MPI (mpi4py / C++ MPI).  Neither
 an MPI runtime nor ``mpi4py`` is available in this environment, so this
 package provides a drop-in substitute that preserves the *semantics* the
 algorithms rely on — ranks, point-to-point messages, and the collectives
 (``barrier``, ``bcast``, ``gather``, ``allgather``, ``alltoall``,
-``allreduce``) — while running every rank inside one Python process.
+``allreduce``).
 
-Two communicator implementations are provided:
+Where the ranks physically run is a *transport*, resolved from a registry
+(:mod:`repro.mpi.transport`) exactly like partitioning strategies and
+matrix backends:
 
-* :class:`~repro.mpi.communicator.SelfCommunicator` — a single-rank
-  communicator whose collectives are identity operations; used for the
-  sequential/shared-memory baselines.
-* :class:`~repro.mpi.threaded.ThreadCommunicator` — every rank is a Python
-  thread; collectives rendezvous through a shared exchange object.  Although
-  thread scheduling is nondeterministic, the algorithm results are
-  reproducible because each rank draws from its own seeded random stream and
-  every collective returns rank-indexed data, so no outcome depends on
-  arrival order.
+* ``"self"`` — a single rank on the calling thread
+  (:class:`~repro.mpi.communicator.SelfCommunicator`); the sequential
+  baselines and every ``num_ranks == 1`` launch.
+* ``"threads"`` — one Python thread per rank
+  (:class:`~repro.mpi.threaded.ThreadCommunicator`); zero startup cost and
+  shared objects, but the GIL serialises compute.  The default.
+* ``"processes"`` — one OS process per rank
+  (:class:`~repro.mpi.processes.ProcessCommunicator`); real CPU
+  parallelism, graph arguments mapped once via
+  ``multiprocessing.shared_memory``, lifecycle (observers/cancellation)
+  bridged to the parent.
+
+All multi-rank communicators share the sequenced-collective implementation
+of :class:`~repro.mpi.communicator.SequencedCommunicator`, so under a fixed
+seed the transports produce bit-identical results and identical
+:class:`~repro.mpi.stats.CommStats` — the cross-transport differential
+suite (``tests/differential/test_cross_transport.py``) holds them to it.
 
 :func:`~repro.mpi.launcher.run_distributed` launches a rank function over
-``n`` ranks and returns the per-rank results, propagating the first rank
-exception (and aborting the others) on failure.  Per-rank traffic statistics
-(:class:`~repro.mpi.stats.CommStats`) feed the harness's α-β communication
-cost model.
+``n`` ranks on a chosen transport and returns the per-rank results,
+propagating the first rank exception (and aborting the others) on failure.
+Per-rank traffic statistics feed the harness's α-β communication cost
+model.
 """
 
-from repro.mpi.communicator import Communicator, SelfCommunicator, ReduceOp
+from repro.mpi.communicator import (
+    Communicator,
+    SelfCommunicator,
+    SequencedCommunicator,
+    ReduceOp,
+)
 from repro.mpi.stats import CommStats, CommEvent
-from repro.mpi.threaded import ThreadCommunicator, ThreadCommWorld
-from repro.mpi.launcher import run_distributed, DistributedError
+from repro.mpi.transport import (
+    DEFAULT_TIMEOUT,
+    DistributedError,
+    DistributedResult,
+    SelfTransport,
+    Transport,
+    available_transports,
+    get_transport,
+    register_transport,
+    transport_registry_hint,
+    unregister_transport,
+)
+from repro.mpi.threaded import ThreadCommunicator, ThreadCommWorld, ThreadTransport
+from repro.mpi.processes import ProcessCommunicator, ProcessTransport
+from repro.mpi.launcher import run_distributed
 
 __all__ = [
     "Communicator",
+    "SequencedCommunicator",
     "SelfCommunicator",
     "ThreadCommunicator",
     "ThreadCommWorld",
+    "ProcessCommunicator",
     "ReduceOp",
     "CommStats",
     "CommEvent",
     "run_distributed",
     "DistributedError",
+    "DistributedResult",
+    "DEFAULT_TIMEOUT",
+    "Transport",
+    "SelfTransport",
+    "ThreadTransport",
+    "ProcessTransport",
+    "register_transport",
+    "unregister_transport",
+    "get_transport",
+    "available_transports",
+    "transport_registry_hint",
 ]

@@ -15,7 +15,7 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.mpi.stats import CommStats, payload_bytes
 
-__all__ = ["ReduceOp", "Communicator", "SelfCommunicator", "ANY_SOURCE"]
+__all__ = ["ReduceOp", "Communicator", "SequencedCommunicator", "SelfCommunicator", "ANY_SOURCE"]
 
 #: Wildcard source for :meth:`Communicator.recv`.
 ANY_SOURCE = -1
@@ -118,6 +118,115 @@ class Communicator(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(rank={self.rank}, size={self.size})"
+
+
+class SequencedCommunicator(Communicator):
+    """Shared collective implementations over a sequenced exchange primitive.
+
+    Multi-rank communicators differ only in *how* contributions travel
+    between ranks, never in what a collective means.  Subclasses therefore
+    supply three primitives — the collective rendezvous :meth:`_exchange`
+    plus the point-to-point mailbox :meth:`_put`/:meth:`_take` — and
+    inherit every collective along with the :class:`CommStats` accounting
+    policy.  Keeping the accounting here means every transport reports
+    identical statistics for the same rank program by construction, which
+    the differential suite asserts for threads vs. processes.
+
+    Collectives are sequenced: the *n*-th collective issued by this rank
+    rendezvouses with the peers' *n*-th, exactly like MPI.  ``_exchange``
+    implementations must raise (not deadlock) on a name mismatch at the
+    same sequence number and on timeout, naming the collective and its
+    sequence number.
+    """
+
+    def __init__(self, rank: int, size: int) -> None:
+        super().__init__(rank, size)
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    # -- transport primitives -------------------------------------------
+    @abc.abstractmethod
+    def _exchange(self, seq: int, name: str, value: Any) -> List[Any]:
+        """Contribute ``value`` to collective ``seq``; return all contributions rank-indexed."""
+
+    @abc.abstractmethod
+    def _put(self, dest: int, tag: int, payload: Any) -> None:
+        """Deliver a point-to-point payload to ``dest``'s mailbox."""
+
+    @abc.abstractmethod
+    def _take(self, source: int, tag: int) -> Any:
+        """Take the next matching payload from this rank's mailbox."""
+
+    # -- point to point -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError("destination rank out of range")
+        self.stats.record("send", sent=payload_bytes(obj))
+        self._put(dest, tag, obj)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
+        obj = self._take(source, tag)
+        self.stats.record("recv", received=payload_bytes(obj))
+        return obj
+
+    # -- collectives ----------------------------------------------------
+    def barrier(self) -> None:
+        self.stats.record("barrier")
+        self._exchange(self._next_seq(), "barrier", None)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        contribution = obj if self.rank == root else None
+        values = self._exchange(self._next_seq(), "bcast", contribution)
+        result = values[root]
+        nbytes = payload_bytes(result)
+        self.stats.record("bcast", sent=nbytes if self.rank == root else 0, received=nbytes)
+        return result
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        values = self._exchange(self._next_seq(), "gather", obj)
+        sent = payload_bytes(obj)
+        if self.rank == root:
+            self.stats.record("gather", sent=sent, received=sum(payload_bytes(v) for v in values))
+            return values
+        self.stats.record("gather", sent=sent)
+        return None
+
+    def allgather(self, obj: Any) -> List[Any]:
+        values = self._exchange(self._next_seq(), "allgather", obj)
+        self.stats.record(
+            "allgather",
+            sent=payload_bytes(obj) * (self.size - 1),
+            received=sum(payload_bytes(v) for i, v in enumerate(values) if i != self.rank),
+        )
+        return values
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        if len(objs) != self.size:
+            raise ValueError("alltoall requires exactly one object per rank")
+        matrix = self._exchange(self._next_seq(), "alltoall", list(objs))
+        result = [matrix[src][self.rank] for src in range(self.size)]
+        self.stats.record(
+            "alltoall",
+            sent=sum(payload_bytes(o) for i, o in enumerate(objs) if i != self.rank),
+            received=sum(payload_bytes(o) for i, o in enumerate(result) if i != self.rank),
+        )
+        return result
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter requires one object per rank at the root")
+            contribution = list(objs)
+        else:
+            contribution = None
+        matrix = self._exchange(self._next_seq(), "scatter", contribution)
+        item = matrix[root][self.rank]
+        self.stats.record("scatter", sent=payload_bytes(item) if self.rank == root else 0, received=payload_bytes(item))
+        return item
 
 
 class SelfCommunicator(Communicator):

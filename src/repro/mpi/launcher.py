@@ -1,54 +1,37 @@
 """Launch a rank function across simulated MPI ranks.
 
 :func:`run_distributed` is the in-process equivalent of ``mpiexec -n N``:
-it spawns one thread per rank, hands each a :class:`ThreadCommunicator`
-(or a :class:`SelfCommunicator` for ``N == 1``), runs the supplied function,
-and returns the per-rank results.
+it resolves a :class:`~repro.mpi.transport.Transport` from the registry,
+hands each rank a :class:`~repro.mpi.communicator.Communicator`, runs the
+supplied function on every rank, and returns the per-rank results.
+
+``DistributedResult`` and ``DistributedError`` are re-exported here for
+backwards compatibility; they live in :mod:`repro.mpi.transport`.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Optional, Union
 
-from repro.mpi.communicator import Communicator, SelfCommunicator
-from repro.mpi.stats import CommStats
-from repro.mpi.threaded import ThreadCommWorld
+# Importing these modules registers the built-in transports.
+from repro.mpi import processes as _processes  # noqa: F401
+from repro.mpi import threaded as _threaded  # noqa: F401
+from repro.mpi.transport import (
+    DistributedError,
+    DistributedResult,
+    Transport,
+    get_transport,
+)
 
 __all__ = ["run_distributed", "DistributedResult", "DistributedError"]
-
-
-class DistributedError(RuntimeError):
-    """Raised when one or more ranks fail; carries all per-rank exceptions."""
-
-    def __init__(self, failures: Dict[int, BaseException]) -> None:
-        self.failures = failures
-        summary = "; ".join(f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(failures.items()))
-        super().__init__(f"{len(failures)} rank(s) failed: {summary}")
-
-
-@dataclass
-class DistributedResult:
-    """Results of a simulated distributed run."""
-
-    num_ranks: int
-    results: List[Any]
-    comm_stats: List[CommStats] = field(default_factory=list)
-
-    @property
-    def root_result(self) -> Any:
-        return self.results[0]
-
-    def total_comm_stats(self) -> CommStats:
-        return CommStats.aggregate(self.comm_stats)
 
 
 def run_distributed(
     num_ranks: int,
     fn: Callable[..., Any],
     *args: Any,
-    timeout: float = 600.0,
+    transport: Optional[Union[str, Transport]] = None,
+    timeout: Optional[float] = None,
     **kwargs: Any,
 ) -> DistributedResult:
     """Run ``fn(comm, *args, **kwargs)`` on ``num_ranks`` simulated ranks.
@@ -56,13 +39,23 @@ def run_distributed(
     Parameters
     ----------
     num_ranks:
-        Number of simulated MPI ranks.  ``1`` avoids threads entirely.
+        Number of simulated MPI ranks.  ``1`` always runs on the calling
+        thread (the ``"self"`` transport), whatever ``transport`` says —
+        single-rank runs never pay for threads or processes.
     fn:
         The rank program.  Its first positional argument is the rank's
-        :class:`Communicator`.
+        :class:`~repro.mpi.communicator.Communicator`.
+    transport:
+        Registered transport name (``"threads"``, ``"processes"``, …) or a
+        :class:`~repro.mpi.transport.Transport` instance; ``None`` selects
+        ``"threads"``.  Unknown names raise a :class:`ValueError` listing
+        the registry.
     timeout:
-        Per-collective/receive timeout in seconds (guards against deadlocks
-        caused by mismatched collective sequences).
+        Per-collective/receive timeout in seconds (guards against
+        deadlocks caused by mismatched collective sequences); a rank that
+        trips it fails with an error naming the collective and its
+        sequence number.  ``None`` selects
+        :data:`~repro.mpi.transport.DEFAULT_TIMEOUT`.
 
     Returns
     -------
@@ -73,43 +66,15 @@ def run_distributed(
     Raises
     ------
     DistributedError
-        If any rank raises; the error aggregates every rank's exception.
+        If any rank raises on a multi-rank run; the error aggregates every
+        rank's exception and formatted traceback.  Single-rank runs
+        propagate the exception raw.
     """
     if num_ranks <= 0:
         raise ValueError("num_ranks must be positive")
-
+    # Validate the requested transport even when the single-rank shortcut
+    # makes it moot, so a typo fails loudly at every rank count.
+    selected = get_transport(transport) if transport is not None else get_transport("threads")
     if num_ranks == 1:
-        comm = SelfCommunicator()
-        result = fn(comm, *args, **kwargs)
-        return DistributedResult(1, [result], [comm.stats])
-
-    world = ThreadCommWorld(num_ranks, timeout=timeout)
-    comms = world.communicators()
-    results: List[Any] = [None] * num_ranks
-    failures: Dict[int, BaseException] = {}
-
-    def _target(rank: int) -> None:
-        try:
-            results[rank] = fn(comms[rank], *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - propagate to the launcher
-            failures[rank] = exc
-            world.abort(exc)
-
-    threads = [
-        threading.Thread(target=_target, args=(rank,), name=f"repro-rank-{rank}", daemon=True)
-        for rank in range(num_ranks)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-
-    if failures:
-        # Ranks that died only because the world was aborted are secondary;
-        # keep the original failures first for a readable error.
-        primary = {
-            r: e for r, e in failures.items() if not isinstance(e, RuntimeError) or "aborted" not in str(e)
-        }
-        raise DistributedError(primary or failures)
-
-    return DistributedResult(num_ranks, results, [c.stats for c in comms])
+        selected = get_transport("self")
+    return selected.launch(num_ranks, fn, args, kwargs, timeout=timeout)

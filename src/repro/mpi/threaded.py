@@ -1,4 +1,4 @@
-"""Threaded multi-rank communicator.
+"""Threaded multi-rank communicator and the ``"threads"`` transport.
 
 Every simulated MPI rank runs on its own Python thread; the communicators
 share a :class:`ThreadCommWorld` that implements rendezvous for the
@@ -11,22 +11,35 @@ mismatch — e.g. one rank calling ``allgather`` while another calls
 ``barrier`` — raises instead of deadlocking.
 
 The GIL means the threads do not provide real CPU parallelism; that is fine,
-because the simulated communicator exists to exercise the *communication and
-convergence* behaviour of the distributed algorithms, while runtime scaling
-is assessed with the harness's work/communication model.
+because this transport exists to exercise the *communication and
+convergence* behaviour of the distributed algorithms.  For actual multi-core
+execution use the ``"processes"`` transport
+(:mod:`repro.mpi.processes`), which runs the same rank programs bit-for-bit
+identically on one OS process per rank.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import traceback
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.mpi.communicator import ANY_SOURCE, Communicator
-from repro.mpi.stats import payload_bytes
+from repro.mpi.communicator import ANY_SOURCE, SequencedCommunicator
+from repro.mpi.transport import (
+    DEFAULT_TIMEOUT,
+    DistributedError,
+    DistributedResult,
+    Transport,
+    primary_failures,
+    register_transport,
+)
 
-__all__ = ["ThreadCommWorld", "ThreadCommunicator"]
+__all__ = ["ThreadCommWorld", "ThreadCommunicator", "ThreadTransport"]
 
-_DEFAULT_TIMEOUT = 300.0  # seconds; prevents silent deadlocks in tests
+#: Backwards-compatible alias; the canonical default lives in
+#: :data:`repro.mpi.transport.DEFAULT_TIMEOUT` and is configurable per run
+#: via ``run_distributed(..., timeout=...)``.
+_DEFAULT_TIMEOUT = DEFAULT_TIMEOUT
 
 
 class _Collective:
@@ -45,7 +58,7 @@ class _Collective:
 class ThreadCommWorld:
     """Shared state connecting the per-rank :class:`ThreadCommunicator`s."""
 
-    def __init__(self, size: int, timeout: float = _DEFAULT_TIMEOUT) -> None:
+    def __init__(self, size: int, timeout: float = DEFAULT_TIMEOUT) -> None:
         if size <= 0:
             raise ValueError("size must be positive")
         self.size = size
@@ -154,82 +167,73 @@ class ThreadCommWorld:
                 self._lock.wait(timeout=min(remaining, 0.5))
 
 
-class ThreadCommunicator(Communicator):
-    """Per-rank handle onto a :class:`ThreadCommWorld`."""
+class ThreadCommunicator(SequencedCommunicator):
+    """Per-rank handle onto a :class:`ThreadCommWorld`.
+
+    All collectives (and their statistics accounting) come from
+    :class:`~repro.mpi.communicator.SequencedCommunicator`; this class only
+    wires the exchange/mailbox primitives to the shared world.
+    """
 
     def __init__(self, rank: int, world: ThreadCommWorld) -> None:
         super().__init__(rank, world.size)
         self._world = world
-        self._seq = 0
 
-    def _next_seq(self) -> int:
-        seq = self._seq
-        self._seq += 1
-        return seq
+    def _exchange(self, seq: int, name: str, value: Any) -> List[Any]:
+        return self._world.exchange(seq, name, self.rank, value)
 
-    # -- point to point -------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        if not 0 <= dest < self.size:
-            raise ValueError("destination rank out of range")
-        self.stats.record("send", sent=payload_bytes(obj))
-        self._world.put(dest, self.rank, tag, obj)
+    def _put(self, dest: int, tag: int, payload: Any) -> None:
+        self._world.put(dest, self.rank, tag, payload)
 
-    def recv(self, source: int = ANY_SOURCE, tag: int = 0) -> Any:
-        obj = self._world.take(self.rank, source, tag)
-        self.stats.record("recv", received=payload_bytes(obj))
-        return obj
+    def _take(self, source: int, tag: int) -> Any:
+        return self._world.take(self.rank, source, tag)
 
-    # -- collectives ----------------------------------------------------
-    def barrier(self) -> None:
-        self.stats.record("barrier")
-        self._world.exchange(self._next_seq(), "barrier", self.rank, None)
 
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        contribution = obj if self.rank == root else None
-        values = self._world.exchange(self._next_seq(), "bcast", self.rank, contribution)
-        result = values[root]
-        nbytes = payload_bytes(result)
-        self.stats.record("bcast", sent=nbytes if self.rank == root else 0, received=nbytes)
-        return result
+@register_transport("threads")
+class ThreadTransport(Transport):
+    """One daemon thread per rank inside the calling process.
 
-    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
-        values = self._world.exchange(self._next_seq(), "gather", self.rank, obj)
-        sent = payload_bytes(obj)
-        if self.rank == root:
-            self.stats.record("gather", sent=sent, received=sum(payload_bytes(v) for v in values))
-            return values
-        self.stats.record("gather", sent=sent)
-        return None
+    Zero startup cost and full visibility into shared objects (observers,
+    run contexts, test fixtures are used directly), at the price of no CPU
+    parallelism: the GIL serialises the compute phases.  The default
+    transport, and the right one for tests and communication-semantics
+    work.
+    """
 
-    def allgather(self, obj: Any) -> List[Any]:
-        values = self._world.exchange(self._next_seq(), "allgather", self.rank, obj)
-        self.stats.record(
-            "allgather",
-            sent=payload_bytes(obj) * (self.size - 1),
-            received=sum(payload_bytes(v) for i, v in enumerate(values) if i != self.rank),
-        )
-        return values
+    def launch(
+        self,
+        num_ranks: int,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: Optional[Mapping[str, Any]] = None,
+        *,
+        timeout: Optional[float] = None,
+    ) -> DistributedResult:
+        kwargs = dict(kwargs or {})
+        world = ThreadCommWorld(num_ranks, timeout=DEFAULT_TIMEOUT if timeout is None else timeout)
+        comms = world.communicators()
+        results: List[Any] = [None] * num_ranks
+        failures: Dict[int, BaseException] = {}
+        tracebacks: Dict[int, str] = {}
 
-    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
-        if len(objs) != self.size:
-            raise ValueError("alltoall requires exactly one object per rank")
-        matrix = self._world.exchange(self._next_seq(), "alltoall", self.rank, list(objs))
-        result = [matrix[src][self.rank] for src in range(self.size)]
-        self.stats.record(
-            "alltoall",
-            sent=sum(payload_bytes(o) for i, o in enumerate(objs) if i != self.rank),
-            received=sum(payload_bytes(o) for i, o in enumerate(result) if i != self.rank),
-        )
-        return result
+        def _target(rank: int) -> None:
+            try:
+                results[rank] = fn(comms[rank], *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - propagate to the launcher
+                failures[rank] = exc
+                tracebacks[rank] = traceback.format_exc()
+                world.abort(exc)
 
-    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
-        if self.rank == root:
-            if objs is None or len(objs) != self.size:
-                raise ValueError("scatter requires one object per rank at the root")
-            contribution = list(objs)
-        else:
-            contribution = None
-        matrix = self._world.exchange(self._next_seq(), "scatter", self.rank, contribution)
-        item = matrix[root][self.rank]
-        self.stats.record("scatter", sent=payload_bytes(item) if self.rank == root else 0, received=payload_bytes(item))
-        return item
+        threads = [
+            threading.Thread(target=_target, args=(rank,), name=f"repro-rank-{rank}", daemon=True)
+            for rank in range(num_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if failures:
+            primary = primary_failures(failures)
+            raise DistributedError(primary, {r: tracebacks.get(r, "") for r in primary})
+        return DistributedResult(num_ranks, results, [c.stats for c in comms])

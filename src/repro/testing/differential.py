@@ -21,6 +21,12 @@ Two granularities are provided:
   :func:`assert_results_identical` compares the end states plus the
   per-cycle history records (each of which is a phase-boundary DL).
 
+The same discipline applies across *transports*: the threaded and the
+multiprocess rank launchers (:data:`ALL_TRANSPORTS`) must be pure placement
+decisions — :func:`run_transports` / :func:`assert_all_transports_identical`
+hold DC-SBP and EDiSt to bit-identical results whichever substrate the
+ranks run on.
+
 :func:`golden_record` serialises a result for the golden-file regression
 tests (description lengths are stored as ``float.hex`` so the comparison is
 exact, not approximate).
@@ -60,6 +66,10 @@ __all__ = [
     "run_backend_pair",
     "assert_results_identical",
     "assert_all_results_identical",
+    "ALL_TRANSPORTS",
+    "REFERENCE_TRANSPORT",
+    "run_transports",
+    "assert_all_transports_identical",
     "golden_record",
 ]
 
@@ -79,6 +89,14 @@ CANDIDATE_BACKENDS: Tuple[str, ...] = tuple(
 
 #: Legacy alias (PR 2 era): the original two-backend comparison.
 BACKEND_PAIR: Tuple[str, str] = ("dict", "csr")
+
+#: The multi-rank transports the cross-transport suite compares (``"self"``
+#: is excluded: it only ever runs single-rank launches).
+ALL_TRANSPORTS: Tuple[str, ...] = ("threads", "processes")
+
+#: The transport whose behaviour defines correctness (the original
+#: simulated-MPI substrate).
+REFERENCE_TRANSPORT: str = "threads"
 
 
 @dataclass
@@ -185,14 +203,14 @@ def run_sequential(graph: Graph, config: SBPConfig) -> SBPResult:
     return stochastic_block_partition(graph, config)
 
 
-def run_dcsbp(graph: Graph, config: SBPConfig, num_ranks: int = 2) -> SBPResult:
-    """DC-SBP over simulated (threaded) MPI ranks."""
-    return divide_and_conquer_sbp(graph, num_ranks, config)
+def run_dcsbp(graph: Graph, config: SBPConfig, num_ranks: int = 2, run_context=None) -> SBPResult:
+    """DC-SBP over simulated MPI ranks (transport from ``config.transport``)."""
+    return divide_and_conquer_sbp(graph, num_ranks, config, run_context=run_context)
 
 
-def run_edist(graph: Graph, config: SBPConfig, num_ranks: int = 2) -> SBPResult:
-    """EDiSt over simulated (threaded) MPI ranks."""
-    return edist(graph, num_ranks, config)
+def run_edist(graph: Graph, config: SBPConfig, num_ranks: int = 2, run_context=None) -> SBPResult:
+    """EDiSt over simulated MPI ranks (transport from ``config.transport``)."""
+    return edist(graph, num_ranks, config, run_context=run_context)
 
 
 def run_backends(
@@ -261,6 +279,42 @@ def assert_all_results_identical(results: Dict[str, SBPResult]) -> None:
             assert_results_identical(reference, candidate)
         except AssertionError as exc:
             raise AssertionError(f"backend {backend!r} diverged from reference: {exc}") from exc
+
+
+def run_transports(
+    runner: Callable[..., SBPResult],
+    graph: Graph,
+    config: SBPConfig,
+    transports: Tuple[str, ...] = ALL_TRANSPORTS,
+    **kwargs,
+) -> Dict[str, SBPResult]:
+    """Run ``runner`` once per transport, returning ``{transport: result}``.
+
+    The config's other fields (seed included) are held fixed, so the results
+    must be bit-identical — where the ranks physically run is not allowed to
+    leak into the algorithm.
+    """
+    return {
+        transport: runner(graph, config.with_overrides(transport=transport), **kwargs)
+        for transport in transports
+    }
+
+
+def assert_all_transports_identical(results: Dict[str, SBPResult]) -> None:
+    """Assert every transport's result is bit-identical to the reference's.
+
+    ``results`` maps transport name to result (as returned by
+    :func:`run_transports`); :data:`REFERENCE_TRANSPORT` anchors the
+    comparison.
+    """
+    reference = results[REFERENCE_TRANSPORT]
+    for transport, candidate in results.items():
+        if transport == REFERENCE_TRANSPORT:
+            continue
+        try:
+            assert_results_identical(reference, candidate)
+        except AssertionError as exc:
+            raise AssertionError(f"transport {transport!r} diverged from reference: {exc}") from exc
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,85 @@
+"""Full-pipeline differential tests: threaded vs multiprocess transports.
+
+The acceptance criterion of the transport work: where the simulated MPI
+ranks physically run must be a pure placement decision.  Under a fixed seed
+EDiSt and DC-SBP must produce bit-identical partitions, description
+lengths and per-cycle histories on the ``"threads"`` and ``"processes"``
+transports, at 2 and 4 ranks — including runs that are cancelled mid-flight
+by an observer, which exercises the lifecycle bridge (observer events and
+stop decisions crossing the process boundary) at full fidelity.
+"""
+
+import pytest
+
+from repro.core.context import RunContext, RunObserver
+from repro.testing.differential import (
+    ALL_TRANSPORTS,
+    assert_all_transports_identical,
+    run_dcsbp,
+    run_edist,
+    run_transports,
+)
+
+
+class TestEDiSt:
+    @pytest.mark.parametrize("num_ranks", [2, 4], ids=lambda n: f"ranks{n}")
+    def test_bit_identical(self, diff_graph_a, diff_config, num_ranks):
+        results = run_transports(run_edist, diff_graph_a, diff_config, num_ranks=num_ranks)
+        assert set(results) == set(ALL_TRANSPORTS)
+        assert_all_transports_identical(results)
+
+    def test_bit_identical_on_sparse_graph(self, diff_graph_b, diff_config):
+        results = run_transports(run_edist, diff_graph_b, diff_config, num_ranks=2)
+        assert_all_transports_identical(results)
+
+
+class TestDCSBP:
+    @pytest.mark.parametrize("num_ranks", [2, 4], ids=lambda n: f"ranks{n}")
+    def test_bit_identical(self, diff_graph_a, diff_config, num_ranks):
+        results = run_transports(run_dcsbp, diff_graph_a, diff_config, num_ranks=num_ranks)
+        assert_all_transports_identical(results)
+
+
+class _CancelAfterCycles(RunObserver):
+    """Counts cycle events and cancels the run at the N-th."""
+
+    def __init__(self, cancel_after: int) -> None:
+        self.cancel_after = cancel_after
+        self.cycle_events = 0
+
+    def on_cycle(self, event) -> None:
+        self.cycle_events += 1
+        if self.cycle_events >= self.cancel_after:
+            event.context.cancel()
+
+
+class TestCancellationMidRun:
+    """Observer-triggered cancellation must land at the same phase boundary.
+
+    Events are emitted synchronously (for ``"processes"``, as round-trips
+    through the lifecycle bridge) and stop decisions are rank-0 broadcasts,
+    so a cancel injected at the N-th cycle event must stop both transports
+    at exactly the same boundary with identical partial results.
+    """
+
+    @pytest.mark.parametrize("runner,cancel_after", [(run_edist, 2), (run_dcsbp, 1)])
+    def test_same_boundary_and_identical_partial_results(
+        self, diff_graph_a, diff_config, runner, cancel_after
+    ):
+        results = {}
+        observers = {}
+        for transport in ALL_TRANSPORTS:
+            observer = _CancelAfterCycles(cancel_after)
+            context = RunContext(observers=[observer])
+            results[transport] = runner(
+                diff_graph_a,
+                diff_config.with_overrides(transport=transport),
+                num_ranks=2,
+                run_context=context,
+            )
+            observers[transport] = observer
+            assert context.stop_reason == "cancelled"
+        for transport, result in results.items():
+            assert result.metadata.get("stopped") == "cancelled", transport
+            assert observers[transport].cycle_events == cancel_after, transport
+        assert_all_transports_identical(results)
