@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""CLI for the perf-regression gate (see :mod:`repro.registry.gate`).
+
+Compares the latest smoke-mode registry run of each gated benchmark against
+the committed baselines and exits non-zero on a regression or a missing run.
+
+Typical flows::
+
+    # Gate the current registry against results/baselines.json:
+    python scripts/regression_gate.py
+
+    # Re-anchor the baselines to the latest smoke runs on this machine
+    # (run `scripts/verify.sh --bench-gate` first to populate the registry):
+    python scripts/regression_gate.py --refresh-baselines
+
+    # Self-test the fail path: a passing run, synthetically slowed 2x,
+    # must trip the gate (CI asserts this):
+    python scripts/regression_gate.py --simulate-slowdown 2.0
+
+    # Report without failing (cross-machine CI comparison of committed
+    # baselines, where wall-clock deltas are advisory):
+    python scripts/regression_gate.py --advisory
+
+Exit codes: 0 = every gated experiment passed (or --advisory/--refresh),
+1 = at least one regression or missing run, 2 = bad invocation/inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running as `python scripts/regression_gate.py` without PYTHONPATH=src.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.registry import (  # noqa: E402
+    GATED_EXPERIMENTS,
+    evaluate_gate,
+    refresh_baselines,
+    registry_dir,
+    summarize,
+)
+from repro.registry.gate import BASELINE_MODE, default_baselines_path  # noqa: E402
+
+_STATUS_TAGS = {
+    "ok": "PASS",
+    "regression": "FAIL",
+    "missing_run": "FAIL",
+    "no_baseline": "WARN",
+}
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "--experiments", nargs="+", default=list(GATED_EXPERIMENTS), metavar="NAME",
+        help=f"experiments to gate (default: {' '.join(GATED_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--baselines", type=Path, default=None, metavar="FILE",
+        help="baselines JSON file (default: <results dir>/baselines.json)",
+    )
+    parser.add_argument(
+        "--registry", type=Path, default=None, metavar="DIR",
+        help="registry directory (default: $REPRO_REGISTRY_DIR or <results dir>/registry)",
+    )
+    parser.add_argument(
+        "--mode", default=BASELINE_MODE,
+        help=f"sizing mode of the runs to gate (default: {BASELINE_MODE})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRACTION",
+        help="override the allowed relative slowdown (e.g. 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--simulate-slowdown", type=float, default=1.0, metavar="FACTOR",
+        help="multiply observed wall-clocks by FACTOR before comparing (gate self-test)",
+    )
+    parser.add_argument(
+        "--refresh-baselines", action="store_true",
+        help="rewrite the baseline entries from the latest runs instead of gating",
+    )
+    parser.add_argument(
+        "--advisory", action="store_true",
+        help="report verdicts but always exit 0 (cross-machine comparisons)",
+    )
+    parser.add_argument(
+        "--history", action="store_true",
+        help="also print the per-config registry summary (median/min over history)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    baselines_path = args.baselines if args.baselines is not None else default_baselines_path()
+    directory = args.registry if args.registry is not None else registry_dir()
+
+    if args.tolerance is not None and args.tolerance < 0:
+        print("error: --tolerance must be non-negative", file=sys.stderr)
+        return 2
+    if args.simulate_slowdown <= 0:
+        print("error: --simulate-slowdown must be positive", file=sys.stderr)
+        return 2
+
+    if args.refresh_baselines:
+        try:
+            data = refresh_baselines(
+                baselines_path=baselines_path,
+                experiments=args.experiments,
+                directory=directory,
+                mode=args.mode,
+                tolerance=args.tolerance,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"refreshed {len(args.experiments)} baseline(s) in {baselines_path}:")
+        for name in args.experiments:
+            entry = data["experiments"][name]
+            print(f"  {name}: wall_seconds={entry['wall_seconds']:.3f} @ {entry['git_rev'][:12]}")
+        return 0
+
+    try:
+        report = evaluate_gate(
+            experiments=args.experiments,
+            baselines_path=baselines_path,
+            directory=directory,
+            mode=args.mode,
+            tolerance=args.tolerance,
+            slowdown=args.simulate_slowdown,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"perf-regression gate: baselines={baselines_path} registry={directory} mode={args.mode}")
+    if args.simulate_slowdown != 1.0:
+        print(f"  (observed wall-clocks synthetically scaled x{args.simulate_slowdown})")
+    for check in report.checks:
+        print(f"[{_STATUS_TAGS[check.status]}] {check.message}")
+
+    if args.history:
+        for name in args.experiments:
+            for row in summarize(name, directory=directory, mode=args.mode):
+                print(
+                    f"history {name} [{row['fingerprint']}]: {row['runs']} run(s), "
+                    f"median {row['wall_seconds_median']:.3f}s, min {row['wall_seconds_min']:.3f}s, "
+                    f"latest {row['wall_seconds_latest']:.3f}s"
+                )
+
+    if report.failed:
+        failed = ", ".join(check.experiment for check in report.failures)
+        verdict = f"gate FAILED for: {failed}"
+        if args.advisory:
+            print(f"{verdict} (advisory mode: exiting 0)")
+            return 0
+        print(verdict)
+        return 1
+    print("gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,12 @@ and future serving layers) program against:
   timeouts, cooperative cancellation);
 * config presets (:func:`config_preset`, :func:`register_config_preset`,
   :func:`available_presets`) and the serializable
-  :class:`SBPConfig` / :class:`SBPResult` pair.
+  :class:`SBPConfig` / :class:`SBPResult` pair;
+* run metadata (:mod:`repro.registry`): the schema-validated
+  :class:`RunRecord` every benchmark appends to the experiment registry,
+  :func:`collect_provenance` (git rev + dirty flag + hostname) and the
+  registry read-back / aggregation surface (:func:`read_runs`,
+  :func:`latest_run`, :func:`summarize`).
 
 Importing this package registers the built-in strategies
 (``"sequential"``, ``"dcsbp"``, ``"edist"``, ``"reference_dcsbp"``).
@@ -44,6 +49,15 @@ from repro.core.context import (
     RunObserver,
 )
 from repro.core.results import SBPResult
+from repro.registry import (
+    RunRecord,
+    append_run,
+    collect_provenance,
+    latest_run,
+    read_runs,
+    registry_dir,
+    summarize,
+)
 
 __all__ = [
     "partition",
@@ -67,4 +81,11 @@ __all__ = [
     "CycleEvent",
     "MergePhaseEvent",
     "MCMCSweepEvent",
+    "RunRecord",
+    "append_run",
+    "read_runs",
+    "latest_run",
+    "summarize",
+    "registry_dir",
+    "collect_provenance",
 ]

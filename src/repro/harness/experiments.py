@@ -43,6 +43,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.partition_ops import island_fraction, round_robin_assignment
 from repro.harness.runtime_model import RuntimeModelParams, modeled_runtime
 from repro.harness.settings import ExperimentSettings
+from repro.registry.phases import record_phases
 
 __all__ = [
     "run_table2",
@@ -110,6 +111,11 @@ def run_algorithm(
     and 4) do not repeat identical runs within one benchmark session.
     Memoisation is skipped when a ``run_context`` is supplied (observers make
     runs non-interchangeable).
+
+    Every *freshly executed* run reports its ``SBPResult.phase_seconds`` to
+    the registry's phase log (:mod:`repro.registry.phases`), so benchmark
+    records carry a real per-phase breakdown; cache hits do not re-report,
+    keeping the log consistent with wall-clock actually spent.
     """
     strategy = get_strategy(algorithm)
     if strategy.name in ("dcsbp", "edist") and num_ranks == 1:
@@ -117,11 +123,14 @@ def run_algorithm(
     if strategy.name == "sequential":
         num_ranks = 1
     if run_context is not None:
-        return strategy.run(graph, config, num_ranks=num_ranks, run_context=run_context)
+        result = strategy.run(graph, config, num_ranks=num_ranks, run_context=run_context)
+        record_phases(result.phase_seconds)
+        return result
     cache_key = (id(graph), strategy.name, int(num_ranks), config)
     if cache_key in _RESULT_CACHE:
         return _RESULT_CACHE[cache_key]
     result = strategy.run(graph, config, num_ranks=num_ranks)
+    record_phases(result.phase_seconds)
     _RESULT_CACHE[cache_key] = result
     return result
 

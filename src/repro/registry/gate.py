@@ -1,0 +1,295 @@
+"""The perf-regression gate: latest registry runs vs committed baselines.
+
+CI (and ``scripts/verify.sh --bench-gate``) runs the four gated benchmarks in
+smoke mode, then compares each one's latest registry record against the
+committed reference in ``results/baselines.json``:
+
+* slower than ``baseline * (1 + tolerance)``  → **regression**, gate fails;
+* no registry run for a gated experiment      → **missing run**, gate fails
+  (a gate that silently skips what didn't run gates nothing);
+* no baseline entry for a recorded run        → **no baseline**: warn and
+  surface the candidate value, but do not fail — first runs on a new machine
+  or a new experiment must be recordable before they can be gated.
+
+Wall-clock baselines are only meaningful per machine, so the file records the
+host it was refreshed on and :func:`evaluate_gate` marks cross-host
+comparisons as advisory context in the check message.  The default tolerance
+is deliberately loose (25%) because smoke-mode runs are short and noisy.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.registry.provenance import collect_provenance
+from repro.registry.record import RunRecord
+from repro.registry.store import latest_run
+
+__all__ = [
+    "GATED_EXPERIMENTS",
+    "DEFAULT_TOLERANCE",
+    "BASELINE_FORMAT",
+    "GateCheck",
+    "GateReport",
+    "load_baselines",
+    "evaluate_gate",
+    "refresh_baselines",
+    "default_baselines_path",
+]
+
+PathLike = Union[str, Path]
+
+#: The benchmarks CI gates on: the two vectorization microbenchmarks, the
+#: sparse-backend scaling grid, and the distributed strong-scaling figure —
+#: together they cover every hot path a PR is likely to slow down.
+GATED_EXPERIMENTS = (
+    "backend_throughput",
+    "merge_throughput",
+    "sparse_backend_scaling",
+    "fig4_strong_scaling",
+)
+
+#: Allowed relative slowdown before the gate fails (smoke runs are noisy).
+DEFAULT_TOLERANCE = 0.25
+
+#: Format marker embedded in the baselines file, mirroring ``SBPResult``'s
+#: persisted-format convention, so arbitrary JSON is rejected with a clear
+#: error instead of a KeyError.
+BASELINE_FORMAT = "repro.baselines"
+BASELINE_FORMAT_VERSION = 1
+
+#: The sizing preset baselines are recorded and compared in.
+BASELINE_MODE = "smoke"
+
+
+def default_baselines_path() -> Path:
+    """``<results dir>/baselines.json`` (honours ``REPRO_RESULTS_DIR``)."""
+    import os
+
+    return Path(os.environ.get("REPRO_RESULTS_DIR", "results")) / "baselines.json"
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """The verdict for one gated experiment."""
+
+    experiment: str
+    #: ``"ok"`` | ``"regression"`` | ``"missing_run"`` | ``"no_baseline"``
+    status: str
+    observed_wall_seconds: Optional[float]
+    baseline_wall_seconds: Optional[float]
+    tolerance: float
+    message: str
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regression", "missing_run")
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """observed / baseline (> 1 means slower than the reference)."""
+        if self.observed_wall_seconds is None or not self.baseline_wall_seconds:
+            return None
+        return self.observed_wall_seconds / self.baseline_wall_seconds
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """All verdicts of one gate evaluation."""
+
+    checks: List[GateCheck] = field(default_factory=list)
+
+    @property
+    def failed(self) -> bool:
+        return any(check.failed for check in self.checks)
+
+    @property
+    def failures(self) -> List[GateCheck]:
+        return [check for check in self.checks if check.failed]
+
+
+def load_baselines(path: PathLike) -> Dict[str, object]:
+    """Read and validate a baselines file; errors name the file and field."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("format") != BASELINE_FORMAT:
+        raise ValueError(
+            f"{path}: not a baselines file (missing format marker {BASELINE_FORMAT!r})"
+        )
+    experiments = data.get("experiments")
+    if not isinstance(experiments, dict):
+        raise ValueError(f"{path}: baselines field 'experiments' must be a dict")
+    for name, entry in experiments.items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"{path}: baselines entry {name!r} must be a dict")
+        wall = entry.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool) or not math.isfinite(wall) or wall <= 0:
+            raise ValueError(
+                f"{path}: baselines entry {name!r} field 'wall_seconds' must be a positive number, got {wall!r}"
+            )
+    tolerance = data.get("tolerance", DEFAULT_TOLERANCE)
+    if not isinstance(tolerance, (int, float)) or isinstance(tolerance, bool) or tolerance < 0:
+        raise ValueError(f"{path}: baselines field 'tolerance' must be a non-negative number, got {tolerance!r}")
+    return data
+
+
+def evaluate_gate(
+    experiments: Sequence[str] = GATED_EXPERIMENTS,
+    baselines_path: Optional[PathLike] = None,
+    directory: Optional[PathLike] = None,
+    mode: str = BASELINE_MODE,
+    tolerance: Optional[float] = None,
+    slowdown: float = 1.0,
+) -> GateReport:
+    """Compare each experiment's latest ``mode`` run against its baseline.
+
+    ``tolerance`` overrides the file-level (and per-entry) tolerance when
+    given.  ``slowdown`` multiplies every observed wall-clock before the
+    comparison — the gate's own fail-path self-test (CI asserts that a
+    synthetic 2x slowdown trips the gate on an otherwise passing run).
+    """
+    baselines_path = Path(baselines_path) if baselines_path else default_baselines_path()
+    if baselines_path.exists():
+        baselines = load_baselines(baselines_path)
+    else:
+        baselines = {"format": BASELINE_FORMAT, "version": BASELINE_FORMAT_VERSION, "experiments": {}}
+    entries: Dict[str, dict] = baselines["experiments"]
+    file_tolerance = float(baselines.get("tolerance", DEFAULT_TOLERANCE))
+    baseline_host = baselines.get("hostname")
+    this_host = collect_provenance()["hostname"]
+
+    checks: List[GateCheck] = []
+    for experiment in experiments:
+        entry = entries.get(experiment)
+        effective_tolerance = (
+            tolerance
+            if tolerance is not None
+            else float(entry.get("tolerance", file_tolerance)) if entry else file_tolerance
+        )
+        record = latest_run(experiment, directory=directory, mode=mode)
+        if record is None:
+            checks.append(
+                GateCheck(
+                    experiment=experiment,
+                    status="missing_run",
+                    observed_wall_seconds=None,
+                    baseline_wall_seconds=float(entry["wall_seconds"]) if entry else None,
+                    tolerance=effective_tolerance,
+                    message=(
+                        f"experiment {experiment!r} has no {mode!r}-mode run in the registry — "
+                        f"run the benchmark before gating (scripts/verify.sh --bench-gate does both)"
+                    ),
+                )
+            )
+            continue
+        observed = float(record.wall_seconds) * float(slowdown)
+        if entry is None:
+            checks.append(
+                GateCheck(
+                    experiment=experiment,
+                    status="no_baseline",
+                    observed_wall_seconds=observed,
+                    baseline_wall_seconds=None,
+                    tolerance=effective_tolerance,
+                    message=(
+                        f"experiment {experiment!r} has no committed baseline in {baselines_path} — "
+                        f"recorded {observed:.3f}s; refresh with "
+                        f"`python scripts/regression_gate.py --refresh-baselines` to start gating it"
+                    ),
+                )
+            )
+            continue
+        baseline_wall = float(entry["wall_seconds"])
+        limit = baseline_wall * (1.0 + effective_tolerance)
+        host_note = ""
+        if baseline_host and baseline_host != this_host:
+            host_note = (
+                f" [note: baseline recorded on {baseline_host!r}, this run on {this_host!r} — "
+                f"wall-clock comparisons across hosts are advisory]"
+            )
+        if observed > limit:
+            checks.append(
+                GateCheck(
+                    experiment=experiment,
+                    status="regression",
+                    observed_wall_seconds=observed,
+                    baseline_wall_seconds=baseline_wall,
+                    tolerance=effective_tolerance,
+                    message=(
+                        f"experiment {experiment!r} regressed: {observed:.3f}s vs baseline "
+                        f"{baseline_wall:.3f}s (x{observed / baseline_wall:.2f}, tolerance "
+                        f"+{effective_tolerance:.0%}){host_note}"
+                    ),
+                )
+            )
+        else:
+            checks.append(
+                GateCheck(
+                    experiment=experiment,
+                    status="ok",
+                    observed_wall_seconds=observed,
+                    baseline_wall_seconds=baseline_wall,
+                    tolerance=effective_tolerance,
+                    message=(
+                        f"experiment {experiment!r} ok: {observed:.3f}s vs baseline "
+                        f"{baseline_wall:.3f}s (x{observed / baseline_wall:.2f}, tolerance "
+                        f"+{effective_tolerance:.0%}){host_note}"
+                    ),
+                )
+            )
+    return GateReport(checks=checks)
+
+
+def refresh_baselines(
+    baselines_path: Optional[PathLike] = None,
+    experiments: Sequence[str] = GATED_EXPERIMENTS,
+    directory: Optional[PathLike] = None,
+    mode: str = BASELINE_MODE,
+    tolerance: Optional[float] = None,
+) -> Dict[str, object]:
+    """(Re)write baseline entries from each experiment's latest ``mode`` run.
+
+    Entries for experiments outside ``experiments`` are preserved; the
+    file-level tolerance is kept unless ``tolerance`` is given.  An
+    experiment with no recorded run raises, naming it — a baseline cannot be
+    invented.
+    """
+    baselines_path = Path(baselines_path) if baselines_path else default_baselines_path()
+    if baselines_path.exists():
+        data = load_baselines(baselines_path)
+    else:
+        data = {
+            "format": BASELINE_FORMAT,
+            "version": BASELINE_FORMAT_VERSION,
+            "tolerance": DEFAULT_TOLERANCE,
+            "experiments": {},
+        }
+    if tolerance is not None:
+        data["tolerance"] = float(tolerance)
+    provenance = collect_provenance()
+    data["mode"] = mode
+    data["hostname"] = provenance["hostname"]
+    for experiment in experiments:
+        record: Optional[RunRecord] = latest_run(experiment, directory=directory, mode=mode)
+        if record is None:
+            raise ValueError(
+                f"cannot refresh baseline for experiment {experiment!r}: "
+                f"no {mode!r}-mode run in the registry"
+            )
+        data["experiments"][experiment] = {
+            "wall_seconds": float(record.wall_seconds),
+            "git_rev": record.git_rev,
+            "hostname": record.hostname,
+            "timestamp": record.timestamp,
+            "mode": record.mode,
+        }
+    baselines_path.parent.mkdir(parents=True, exist_ok=True)
+    baselines_path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data

@@ -1,0 +1,68 @@
+"""In-process collector for per-phase timings of executed runs.
+
+The benchmark modules call harness ``run_*`` functions that return plain row
+dictionaries, not :class:`~repro.core.results.SBPResult` objects — so the
+per-phase breakdown each result carries would be lost by the time
+``bench_utils.run_once`` builds the registry :class:`RunRecord`.  This module
+closes that gap without threading state through every harness function:
+``run_algorithm`` reports each *freshly executed* result's ``phase_seconds``
+here, and ``run_once`` brackets its measured call with
+:func:`reset_phase_log` / :func:`drain_phase_log` to pick up the totals.
+
+Only fresh executions are logged (memoisation cache hits are not): the
+collected totals then describe work actually performed inside the measured
+wall-clock window, so ``RunRecord.phase_seconds`` stays consistent with
+``RunRecord.wall_seconds``.
+
+When no log is active (the default outside ``run_once``), reporting is a
+no-op, so library users pay nothing.  Stdlib-only, like the rest of
+:mod:`repro.registry`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Mapping, Optional
+
+__all__ = ["reset_phase_log", "drain_phase_log", "record_phases"]
+
+_LOCK = threading.Lock()
+#: ``None`` means "no log active"; a dict accumulates phase → total seconds.
+_TOTALS: Optional[Dict[str, float]] = None
+
+
+def reset_phase_log() -> None:
+    """Start (or restart) collecting phase timings from executed runs."""
+    global _TOTALS
+    with _LOCK:
+        _TOTALS = {}
+
+
+def drain_phase_log() -> Dict[str, float]:
+    """Stop collecting and return the accumulated per-phase totals.
+
+    Returns an empty dict when no log was active or nothing ran.
+    """
+    global _TOTALS
+    with _LOCK:
+        totals = dict(_TOTALS) if _TOTALS is not None else {}
+        _TOTALS = None
+    return totals
+
+
+def record_phases(phase_seconds: Optional[Mapping[str, float]]) -> None:
+    """Accumulate one executed run's ``phase_seconds`` into the active log.
+
+    No-op when no log is active or ``phase_seconds`` is empty; non-numeric
+    values are skipped rather than raising, since the caller is hot-path
+    harness code.
+    """
+    if not phase_seconds:
+        return
+    with _LOCK:
+        if _TOTALS is None:
+            return
+        for phase, seconds in phase_seconds.items():
+            if isinstance(seconds, bool) or not isinstance(seconds, (int, float)):
+                continue
+            _TOTALS[str(phase)] = _TOTALS.get(str(phase), 0.0) + float(seconds)

@@ -1,0 +1,67 @@
+"""Run provenance: code revision, host, and process peak memory.
+
+Registry records must be auditable after the fact, so every one carries the
+exact git revision (plus a dirty-tree flag — a timing from an uncommitted
+tree is not attributable to any commit) and the host it ran on (wall-clock
+comparisons are only meaningful per machine).  All helpers degrade gracefully
+outside a git checkout or on exotic platforms: they return sentinels rather
+than raising, because provenance collection must never break a benchmark.
+"""
+
+from __future__ import annotations
+
+import functools
+import socket
+import subprocess
+import sys
+from typing import Dict
+
+__all__ = ["collect_provenance", "git_revision", "peak_rss_mb"]
+
+
+@functools.lru_cache(maxsize=1)
+def git_revision() -> Dict[str, object]:
+    """``{"git_rev": <sha or "unknown">, "git_dirty": <bool>}`` for the cwd.
+
+    Cached per process: the revision cannot change under a running benchmark
+    session, and shelling out twice per benchmark would be pure overhead.
+    """
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        return {"git_rev": "unknown", "git_dirty": False}
+    return {"git_rev": rev or "unknown", "git_dirty": bool(status.strip())}
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process in MiB (0.0 when unavailable).
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; platforms without the
+    ``resource`` module report 0.0.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return usage / (1024.0 * 1024.0)
+    return usage / 1024.0
+
+
+def collect_provenance() -> Dict[str, object]:
+    """Everything a :class:`~repro.registry.record.RunRecord` needs about
+    *where* and *on what code* it ran: git rev, dirty flag, hostname."""
+    out = dict(git_revision())
+    try:
+        out["hostname"] = socket.gethostname() or "unknown"
+    except OSError:  # pragma: no cover - defensive
+        out["hostname"] = "unknown"
+    return out

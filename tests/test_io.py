@@ -6,6 +6,7 @@ import pytest
 from repro.graphs.graph import Graph
 from repro.graphs.io import (
     load_edge_list,
+    load_edges_sharded,
     load_matrix_market,
     load_truth_file,
     save_edge_list,
@@ -48,6 +49,91 @@ def test_edge_list_skips_comments(tmp_path):
     g = load_edge_list(path)
     assert g.num_vertices == 3
     assert g.num_edges == 5  # 1 + weight 4
+
+
+def _interleave_shards(shards):
+    """Reassemble the full edge arrays from round-robin shards, in file order."""
+    total = sum(shard[0].shape[0] for shard in shards)
+    size = len(shards)
+    out = []
+    for column in range(3):
+        merged = np.empty(total, dtype=np.int64)
+        for rank, shard in enumerate(shards):
+            merged[rank::size] = shard[column]
+        out.append(merged)
+    return tuple(out)
+
+
+def test_sharded_empty_file(tmp_path):
+    path = tmp_path / "empty.tsv"
+    path.write_text("")
+    for rank in range(2):
+        src, dst, weight = load_edges_sharded(path, rank=rank, size=2)
+        assert src.shape == dst.shape == weight.shape == (0,)
+        assert src.dtype == dst.dtype == weight.dtype == np.int64
+
+
+def test_sharded_comments_only_file_is_empty(tmp_path):
+    path = tmp_path / "comments.tsv"
+    path.write_text("# header\n\n% more\n   \n")
+    src, dst, weight = load_edges_sharded(path, rank=0, size=1)
+    assert src.shape == (0,)
+
+
+def test_sharded_file_shorter_than_size(tmp_path):
+    """Fewer edges than ranks: low ranks get one edge each, the rest none."""
+    path = tmp_path / "short.tsv"
+    path.write_text("1\t2\n2\t3\n")
+    shards = [load_edges_sharded(path, rank=r, size=4) for r in range(4)]
+    assert [s[0].shape[0] for s in shards] == [1, 1, 0, 0]
+    assert shards[0][0][0] == 0 and shards[0][1][0] == 1  # 1-indexed input shifted
+    assert shards[1][0][0] == 1 and shards[1][1][0] == 2
+
+
+def test_sharded_comment_and_blank_lines_do_not_consume_slots(tmp_path):
+    """Round-robin dealing counts kept edges only, not raw file lines."""
+    path = tmp_path / "commented.tsv"
+    path.write_text("# header\n1\t2\n\n% note\n2\t3\n   \n3\t1\n# trailing\n")
+    shard0 = load_edges_sharded(path, rank=0, size=2)
+    shard1 = load_edges_sharded(path, rank=1, size=2)
+    # Kept edges are (1,2), (2,3), (3,1): rank 0 gets edges 0 and 2.
+    assert shard0[0].tolist() == [0, 2] and shard0[1].tolist() == [1, 0]
+    assert shard1[0].tolist() == [1] and shard1[1].tolist() == [2]
+
+
+@pytest.mark.parametrize("size", [1, 2, 4])
+def test_sharded_union_matches_unsharded_load(tmp_path, planted_graph, size):
+    path = tmp_path / "graph.tsv"
+    save_edge_list(planted_graph, path)
+    reference = load_edge_list(path, num_vertices=planted_graph.num_vertices)
+    ref_src, ref_dst, ref_weight = reference.edge_arrays()
+
+    shards = [load_edges_sharded(path, rank=r, size=size) for r in range(size)]
+    assert sum(s[0].shape[0] for s in shards) == ref_src.shape[0]
+    src, dst, weight = _interleave_shards(shards)
+    # Interleaving the shards in rank order reproduces the unsharded load
+    # exactly — order, endpoints, and weights.
+    assert np.array_equal(src, ref_src)
+    assert np.array_equal(dst, ref_dst)
+    assert np.array_equal(weight, ref_weight)
+
+
+def test_sharded_zero_indexed_and_weights(tmp_path):
+    path = tmp_path / "weighted.tsv"
+    path.write_text("0\t1\t5\n1\t2\t7\n")
+    src, dst, weight = load_edges_sharded(path, rank=0, size=1, one_indexed=False)
+    assert src.tolist() == [0, 1] and dst.tolist() == [1, 2] and weight.tolist() == [5, 7]
+
+
+def test_sharded_rejects_bad_rank_and_size(tmp_path):
+    path = tmp_path / "graph.tsv"
+    path.write_text("1\t2\n")
+    with pytest.raises(ValueError, match="size"):
+        load_edges_sharded(path, rank=0, size=0)
+    with pytest.raises(ValueError, match="rank"):
+        load_edges_sharded(path, rank=2, size=2)
+    with pytest.raises(ValueError, match="rank"):
+        load_edges_sharded(path, rank=-1, size=2)
 
 
 def test_truth_file_round_trip(tmp_path, planted_graph):

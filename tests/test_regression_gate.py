@@ -1,0 +1,256 @@
+"""The perf-regression gate: verdict semantics and the CLI entry point.
+
+Synthetic registries + baselines exercise every verdict: pass on unchanged
+and faster runs, fail (naming the experiment) on slowed runs and on gated
+experiments that never ran, and record-and-warn — without failing — when a
+run has no committed baseline yet.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.registry import RunRecord, append_run, evaluate_gate, load_baselines, refresh_baselines
+from repro.registry.gate import BASELINE_FORMAT, DEFAULT_TOLERANCE, GATED_EXPERIMENTS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GATE_CLI = REPO_ROOT / "scripts" / "regression_gate.py"
+
+
+def record(experiment: str, wall_seconds: float, mode: str = "smoke", **overrides) -> RunRecord:
+    base = dict(
+        experiment=experiment,
+        mode=mode,
+        wall_seconds=wall_seconds,
+        git_rev="deadbeef",
+        git_dirty=False,
+        hostname="testhost",
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+def write_baselines(path: Path, entries: dict, tolerance: float = DEFAULT_TOLERANCE) -> Path:
+    path.write_text(
+        json.dumps(
+            {
+                "format": BASELINE_FORMAT,
+                "version": 1,
+                "tolerance": tolerance,
+                "mode": "smoke",
+                "experiments": {
+                    name: {"wall_seconds": wall} for name, wall in entries.items()
+                },
+            }
+        )
+    )
+    return path
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    directory = tmp_path / "registry"
+    directory.mkdir()
+    return directory
+
+
+# ----------------------------------------------------------------------
+# Verdict semantics
+# ----------------------------------------------------------------------
+def test_unchanged_run_passes(registry, tmp_path):
+    append_run(record("backend_throughput", 1.0), registry)
+    baselines = write_baselines(tmp_path / "baselines.json", {"backend_throughput": 1.0})
+    report = evaluate_gate(["backend_throughput"], baselines, registry)
+    assert not report.failed
+    assert report.checks[0].status == "ok"
+    assert report.checks[0].ratio == 1.0
+
+
+def test_faster_run_passes(registry, tmp_path):
+    append_run(record("backend_throughput", 0.5), registry)
+    baselines = write_baselines(tmp_path / "baselines.json", {"backend_throughput": 1.0})
+    report = evaluate_gate(["backend_throughput"], baselines, registry)
+    assert not report.failed
+
+
+def test_slower_run_fails_naming_the_experiment(registry, tmp_path):
+    append_run(record("merge_throughput", 2.0), registry)
+    baselines = write_baselines(tmp_path / "baselines.json", {"merge_throughput": 1.0})
+    report = evaluate_gate(["merge_throughput"], baselines, registry)
+    assert report.failed
+    check = report.checks[0]
+    assert check.status == "regression"
+    assert "merge_throughput" in check.message
+    assert "regressed" in check.message
+
+
+def test_missing_experiment_fails_naming_it(registry, tmp_path):
+    baselines = write_baselines(tmp_path / "baselines.json", {"fig4_strong_scaling": 1.0})
+    report = evaluate_gate(["fig4_strong_scaling"], baselines, registry)
+    assert report.failed
+    check = report.checks[0]
+    assert check.status == "missing_run"
+    assert "fig4_strong_scaling" in check.message
+    assert "no 'smoke'-mode run" in check.message
+
+
+def test_no_baseline_records_and_warns_without_failing(registry, tmp_path):
+    append_run(record("sparse_backend_scaling", 3.0), registry)
+    baselines = write_baselines(tmp_path / "baselines.json", {"backend_throughput": 1.0})
+    report = evaluate_gate(["sparse_backend_scaling"], baselines, registry)
+    assert not report.failed
+    check = report.checks[0]
+    assert check.status == "no_baseline"
+    assert check.observed_wall_seconds == 3.0
+    assert "refresh" in check.message
+    # A completely absent baselines file behaves the same way.
+    report = evaluate_gate(["sparse_backend_scaling"], tmp_path / "nope.json", registry)
+    assert not report.failed and report.checks[0].status == "no_baseline"
+
+
+def test_wrong_mode_run_does_not_satisfy_the_gate(registry, tmp_path):
+    append_run(record("backend_throughput", 1.0, mode="quick"), registry)
+    baselines = write_baselines(tmp_path / "baselines.json", {"backend_throughput": 1.0})
+    report = evaluate_gate(["backend_throughput"], baselines, registry)
+    assert report.failed and report.checks[0].status == "missing_run"
+
+
+def test_gate_uses_latest_run_not_best(registry, tmp_path):
+    append_run(record("backend_throughput", 1.0), registry)
+    append_run(record("backend_throughput", 5.0), registry)
+    baselines = write_baselines(tmp_path / "baselines.json", {"backend_throughput": 1.0})
+    assert evaluate_gate(["backend_throughput"], baselines, registry).failed
+
+
+def test_tolerance_knob(registry, tmp_path):
+    append_run(record("backend_throughput", 1.1), registry)
+    baselines = write_baselines(tmp_path / "baselines.json", {"backend_throughput": 1.0})
+    assert not evaluate_gate(["backend_throughput"], baselines, registry, tolerance=0.25).failed
+    assert evaluate_gate(["backend_throughput"], baselines, registry, tolerance=0.05).failed
+
+
+def test_simulated_slowdown_trips_an_otherwise_passing_gate(registry, tmp_path):
+    append_run(record("backend_throughput", 1.0), registry)
+    baselines = write_baselines(tmp_path / "baselines.json", {"backend_throughput": 1.0})
+    assert not evaluate_gate(["backend_throughput"], baselines, registry).failed
+    report = evaluate_gate(["backend_throughput"], baselines, registry, slowdown=2.0)
+    assert report.failed and report.checks[0].status == "regression"
+
+
+def test_multiple_experiments_report_individually(registry, tmp_path):
+    append_run(record("backend_throughput", 1.0), registry)
+    append_run(record("merge_throughput", 9.0), registry)
+    baselines = write_baselines(
+        tmp_path / "baselines.json", {"backend_throughput": 1.0, "merge_throughput": 1.0}
+    )
+    report = evaluate_gate(["backend_throughput", "merge_throughput"], baselines, registry)
+    statuses = {c.experiment: c.status for c in report.checks}
+    assert statuses == {"backend_throughput": "ok", "merge_throughput": "regression"}
+    assert [c.experiment for c in report.failures] == ["merge_throughput"]
+
+
+# ----------------------------------------------------------------------
+# Baselines file handling
+# ----------------------------------------------------------------------
+def test_load_baselines_rejects_arbitrary_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"experiments": {}}')
+    with pytest.raises(ValueError, match="format marker"):
+        load_baselines(path)
+
+
+def test_load_baselines_names_bad_entry_field(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(
+        json.dumps({"format": BASELINE_FORMAT, "experiments": {"x": {"wall_seconds": -1}}})
+    )
+    with pytest.raises(ValueError, match="'x' field 'wall_seconds'"):
+        load_baselines(path)
+
+
+def test_refresh_baselines_round_trip(registry, tmp_path):
+    append_run(record("backend_throughput", 1.5), registry)
+    path = tmp_path / "baselines.json"
+    data = refresh_baselines(path, ["backend_throughput"], registry)
+    assert data["experiments"]["backend_throughput"]["wall_seconds"] == 1.5
+    loaded = load_baselines(path)  # must validate as a baselines file
+    assert loaded["experiments"]["backend_throughput"]["git_rev"] == "deadbeef"
+    assert not evaluate_gate(["backend_throughput"], path, registry).failed
+
+
+def test_refresh_baselines_preserves_other_entries_and_tolerance(registry, tmp_path):
+    path = write_baselines(tmp_path / "baselines.json", {"merge_throughput": 7.0}, tolerance=0.4)
+    append_run(record("backend_throughput", 1.5), registry)
+    data = refresh_baselines(path, ["backend_throughput"], registry)
+    assert data["experiments"]["merge_throughput"]["wall_seconds"] == 7.0
+    assert data["tolerance"] == 0.4
+
+
+def test_refresh_baselines_requires_a_recorded_run(registry, tmp_path):
+    with pytest.raises(ValueError, match="'backend_throughput'"):
+        refresh_baselines(tmp_path / "baselines.json", ["backend_throughput"], registry)
+
+
+# ----------------------------------------------------------------------
+# CLI end-to-end (exit codes are what CI consumes)
+# ----------------------------------------------------------------------
+def run_cli(*args, registry_dir: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ, REPRO_REGISTRY_DIR=str(registry_dir))
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(GATE_CLI), *args],
+        capture_output=True, text=True, cwd=REPO_ROOT, env=env, timeout=120,
+    )
+
+
+def test_cli_exit_codes_and_self_test(registry, tmp_path):
+    append_run(record("backend_throughput", 1.0), registry)
+    baselines = write_baselines(tmp_path / "baselines.json", {"backend_throughput": 1.0})
+    args = ("--experiments", "backend_throughput", "--baselines", str(baselines))
+
+    ok = run_cli(*args, registry_dir=registry)
+    assert ok.returncode == 0, ok.stdout + ok.stderr
+    assert "gate passed" in ok.stdout
+
+    slowed = run_cli(*args, "--simulate-slowdown", "2.0", registry_dir=registry)
+    assert slowed.returncode == 1, slowed.stdout + slowed.stderr
+    assert "backend_throughput" in slowed.stdout and "FAIL" in slowed.stdout
+
+    advisory = run_cli(*args, "--simulate-slowdown", "2.0", "--advisory", registry_dir=registry)
+    assert advisory.returncode == 0, advisory.stdout + advisory.stderr
+    assert "advisory" in advisory.stdout
+
+
+def test_cli_refresh_then_gate(registry, tmp_path):
+    append_run(record("backend_throughput", 2.5), registry)
+    baselines = tmp_path / "fresh-baselines.json"
+    args = ("--experiments", "backend_throughput", "--baselines", str(baselines))
+
+    refreshed = run_cli(*args, "--refresh-baselines", registry_dir=registry)
+    assert refreshed.returncode == 0, refreshed.stdout + refreshed.stderr
+    assert baselines.exists()
+
+    gated = run_cli(*args, "--history", registry_dir=registry)
+    assert gated.returncode == 0, gated.stdout + gated.stderr
+    assert "history backend_throughput" in gated.stdout
+
+    missing = run_cli(
+        "--experiments", "never_ran", "--baselines", str(baselines), registry_dir=registry
+    )
+    assert missing.returncode == 1
+    assert "never_ran" in missing.stdout
+
+
+def test_default_gated_experiments_are_the_four_from_the_issue():
+    assert GATED_EXPERIMENTS == (
+        "backend_throughput",
+        "merge_throughput",
+        "sparse_backend_scaling",
+        "fig4_strong_scaling",
+    )
