@@ -1,0 +1,75 @@
+"""Serving-layer throughput: jobs/second through the executor pool.
+
+Submits a batch of identical partitioning jobs to a :class:`JobExecutor`
+at concurrency 1, 2, and 4 and measures end-to-end drain time (submit to
+last job terminal).  The jobs are real sequential SBP runs on a planted
+DCSBM graph, so the numbers capture scheduler + lifecycle overhead on top
+of genuine partitioning work — the figure a capacity plan for the HTTP
+service would start from.  Results land in
+``results/service_throughput.{csv,json}`` and the experiment registry
+(``service_throughput``).
+"""
+
+import time
+
+from bench_utils import run_once
+
+from repro.graphs.generators.degree import DegreeSequenceSpec
+from repro.graphs.generators.sbm import DCSBMSpec, generate_dcsbm_graph
+from repro.service import JobExecutor, JobState
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _bench_graph(settings):
+    smoke = settings.mode == "smoke"
+    spec = DCSBMSpec(
+        num_vertices=80 if smoke else 160,
+        num_communities=4,
+        degree_spec=DegreeSequenceSpec(exponent=3.0, min_degree=8, max_degree=30, duplicate=True),
+        intra_inter_ratio=4.0,
+        block_size_alpha=10.0,
+        name="service-bench",
+    )
+    return generate_dcsbm_graph(spec, seed=settings.seed)
+
+
+def run_service_throughput(settings):
+    graph = _bench_graph(settings)
+    jobs_per_batch = 4 if settings.mode == "smoke" else 8
+    rows = []
+    for workers in WORKER_COUNTS:
+        with JobExecutor(max_workers=workers, record_runs=False) as executor:
+            start = time.perf_counter()
+            submitted = [
+                executor.submit(graph, config=settings.config, job_id=f"bench-{workers}-{i}")
+                for i in range(jobs_per_batch)
+            ]
+            for job in submitted:
+                executor.wait(job.job_id, timeout=600)
+            elapsed = time.perf_counter() - start
+            assert all(job.state == JobState.SUCCEEDED for job in submitted)
+            latencies = [job.latency_seconds for job in submitted]
+        rows.append(
+            {
+                "max_workers": workers,
+                "jobs": jobs_per_batch,
+                "seconds_total": round(elapsed, 3),
+                "jobs_per_s": round(jobs_per_batch / elapsed, 2),
+                "mean_latency_s": round(sum(latencies) / len(latencies), 3),
+                "max_latency_s": round(max(latencies), 3),
+            }
+        )
+    return rows
+
+
+def test_service_throughput(benchmark, settings, report):
+    rows = run_once(benchmark, run_service_throughput, settings)
+    report(rows, "service_throughput", "Serving layer: jobs/second vs executor concurrency")
+    assert len(rows) == len(WORKER_COUNTS)
+    by_workers = {r["max_workers"]: r["jobs_per_s"] for r in rows}
+    # More workers must not make the pool slower beyond noise: the point of
+    # the concurrency limit is throughput, and a regression here means the
+    # executor serialised something it shouldn't have.
+    assert by_workers[2] >= by_workers[1] * 0.8, rows
+    assert by_workers[4] >= by_workers[1] * 0.8, rows

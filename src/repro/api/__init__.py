@@ -88,4 +88,33 @@ __all__ = [
     "summarize",
     "registry_dir",
     "collect_provenance",
+    "Job",
+    "JobState",
+    "JobExecutor",
+    "ProgressSnapshot",
+    "ProgressTracker",
+    "CheckpointWriter",
+    "load_checkpoint",
+    "resume_strategy",
+    "PartitionService",
+    "create_server",
+    "service_metrics",
 ]
+
+# The serving layer builds ON this package (it imports the facade, handle,
+# and registry submodules directly), so its client-facing types are pulled
+# in at the very end — after everything it depends on exists — to keep the
+# import acyclic.
+from repro.service import (  # noqa: E402
+    CheckpointWriter,
+    Job,
+    JobExecutor,
+    JobState,
+    PartitionService,
+    ProgressSnapshot,
+    ProgressTracker,
+    create_server,
+    load_checkpoint,
+    resume_strategy,
+    service_metrics,
+)

@@ -69,9 +69,17 @@ class RunHandle:
     def cancel(self) -> None:
         """Request a cooperative stop; safe from observers or other threads.
 
-        The run winds down at the next phase boundary and still produces a
-        well-formed partial result.
+        A running handle winds down at the next phase boundary and still
+        produces a well-formed partial result.  A ``pending`` handle — one
+        whose :meth:`run` was never invoked — transitions to the terminal
+        ``cancelled`` state *immediately*, so queue-time cancellation is
+        well-defined for schedulers holding submitted-but-unstarted handles;
+        :meth:`result` then lazily builds the degenerate (one block per
+        vertex) partial result if anyone asks for it.
         """
+        with self._lock:
+            if self._status == "pending":
+                self._status = "cancelled"
         self.context.cancel()
 
     # ------------------------------------------------------------------
@@ -84,9 +92,16 @@ class RunHandle:
         with self._lock:
             if self._status == "running":
                 raise RuntimeError("run already in progress")
-            if self.done:
-                return self.result()
-            self._status = "running"
+            if self._error is not None:
+                raise self._error
+            if self._result is not None:
+                return self._result
+            # A handle cancelled while still queued stays terminally
+            # "cancelled"; executing the strategy against the already-stopped
+            # context merely materialises the degenerate partial result.
+            cancelled_in_queue = self._status == "cancelled"
+            if not cancelled_in_queue:
+                self._status = "running"
         try:
             result = self.strategy.run(
                 self.graph,
@@ -99,22 +114,27 @@ class RunHandle:
             self._status = "failed"
             raise
         self._result = result
-        # Custom cancel reasons (RunContext.cancel("budget-exceeded")) map to
-        # the "cancelled" state so the state machine stays closed; the exact
-        # reason remains available as handle.context.stop_reason and in
-        # result.metadata["stopped"].
-        reason = self.context.stop_reason
-        if reason is None:
-            self._status = "completed"
-        elif reason == "timeout":
-            self._status = "timeout"
-        else:
-            self._status = "cancelled"
+        if not cancelled_in_queue:
+            # Custom cancel reasons (RunContext.cancel("budget-exceeded")) map
+            # to the "cancelled" state so the state machine stays closed; the
+            # exact reason remains available as handle.context.stop_reason and
+            # in result.metadata["stopped"].
+            reason = self.context.stop_reason
+            if reason is None:
+                self._status = "completed"
+            elif reason == "timeout":
+                self._status = "timeout"
+            else:
+                self._status = "cancelled"
         return result
 
     def result(self) -> SBPResult:
-        """The run's result, executing the run first if still pending."""
-        if self._status == "pending":
+        """The run's result, executing the run first if still pending.
+
+        A handle cancelled before it ever ran also resolves here: the
+        degenerate partial result is built on first request.
+        """
+        if self._status == "pending" or (self._status == "cancelled" and self._result is None):
             return self.run()
         if self._error is not None:
             raise self._error

@@ -64,6 +64,13 @@ class CycleEvent:
     #: :meth:`RunContext.note_search_state`); ``None`` for drivers that do
     #: not run the search.
     search_state: Optional[Dict[str, object]] = None
+    #: The cycle's live blockmodel, when the emitting driver runs in the
+    #: observer's process (the sequential driver always; EDiSt's rank 0 on
+    #: the in-process transports).  Observers that need the partition —
+    #: e.g. the serving layer's checkpointer — must copy what they keep:
+    #: the object is reused by the driver after the callback returns.
+    #: ``None`` when the event crossed a process boundary.
+    blockmodel: Optional[object] = None
 
 
 @dataclass
@@ -242,6 +249,7 @@ class RunContext:
         description_length: float,
         mcmc_sweeps: int,
         accepted_moves: int,
+        blockmodel: Optional[object] = None,
     ) -> None:
         if not self._emit:
             return
@@ -256,6 +264,7 @@ class RunContext:
             mcmc_sweeps=mcmc_sweeps,
             accepted_moves=accepted_moves,
             search_state=self._last_search_state,
+            blockmodel=blockmodel,
         )
         for observer in self.observers:
             observer.on_cycle(event)

@@ -235,6 +235,7 @@ def edist_rank_program(
             description_length=dl,
             mcmc_sweeps=sweeps,
             accepted_moves=accepted,
+            blockmodel=merged,
         )
         # The stop decision must be identical on every replica even though
         # observers (and hence cancellations) live on rank 0 and the timeout

@@ -116,6 +116,7 @@ def stochastic_block_partition(
             description_length=warm.description_length,
             mcmc_sweeps=warm.sweeps,
             accepted_moves=warm.accepted_moves,
+            blockmodel=current,
         )
         if decision.done:
             num_to_merge = 0
@@ -163,6 +164,7 @@ def stochastic_block_partition(
             description_length=dl,
             mcmc_sweeps=phase.sweeps,
             accepted_moves=phase.accepted_moves,
+            blockmodel=merged,
         )
         if decision.done:
             break

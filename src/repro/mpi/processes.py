@@ -262,7 +262,10 @@ class _BridgedRunContext(RunContext):
     def note_search_state(self, state: Dict[str, object]) -> None:
         self._call("note_search_state", state)
 
-    def emit_cycle(self, cycle, num_blocks, description_length, mcmc_sweeps, accepted_moves) -> None:
+    def emit_cycle(self, cycle, num_blocks, description_length, mcmc_sweeps, accepted_moves,
+                   blockmodel=None) -> None:
+        # The live blockmodel cannot cross the process boundary; launcher-side
+        # observers receive the event without it (CycleEvent.blockmodel=None).
         self._call("emit_cycle", dict(
             cycle=cycle, num_blocks=num_blocks, description_length=description_length,
             mcmc_sweeps=mcmc_sweeps, accepted_moves=accepted_moves,

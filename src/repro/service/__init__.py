@@ -1,0 +1,58 @@
+"""repro.service — partitioning-as-a-service over the run lifecycle.
+
+A stdlib-only serving layer that turns the synchronous
+:func:`repro.partition` entry point into an asynchronous job system:
+
+* :class:`Job` / :class:`JobState` — one run moving through the validated
+  state machine ``queued → running → succeeded | failed | cancelled |
+  timeout``, with full provenance (config, preset, seed, timestamps);
+* :class:`JobExecutor` — a priority-queued worker pool with a concurrency
+  limit, per-job timeouts, exact two-phase cancellation, and graceful
+  drain, recording every finished job into the experiment registry;
+* :class:`ProgressTracker` — folds run-lifecycle events into a servable
+  progress/ETA snapshot (extrapolated from the block-reduction curve);
+* :class:`CheckpointWriter` / :func:`resume_strategy` — periodic atomic
+  partial-result snapshots and warm resume after a crash;
+* :class:`PartitionService` / :func:`create_server` — the HTTP/JSON API
+  (``POST /jobs``, ``GET /jobs/{id}``, ``GET /jobs/{id}/result``,
+  ``DELETE /jobs/{id}``, ``/healthz``, ``/metrics``) on
+  ``http.server.ThreadingHTTPServer``.
+
+``scripts/serve.py`` wraps this package as a CLI;
+``examples/service_demo.py`` drives it end to end in-process.
+"""
+
+from repro.service.job import Job, JobState, new_job_id
+from repro.service.progress import ProgressSnapshot, ProgressTracker
+from repro.service.checkpoint import (
+    CheckpointWriter,
+    WarmStartSequential,
+    load_checkpoint,
+    resume_strategy,
+)
+from repro.service.metrics import percentile, service_metrics
+from repro.service.executor import SERVICE_EXPERIMENT, JobExecutor
+from repro.service.schemas import JobRequest, ValidationError, validate_job_request
+from repro.service.http_api import ApiError, PartitionService, create_server
+
+__all__ = [
+    "Job",
+    "JobState",
+    "new_job_id",
+    "ProgressSnapshot",
+    "ProgressTracker",
+    "CheckpointWriter",
+    "WarmStartSequential",
+    "load_checkpoint",
+    "resume_strategy",
+    "percentile",
+    "service_metrics",
+    "JobExecutor",
+    "SERVICE_EXPERIMENT",
+    "JobRequest",
+    "ValidationError",
+    "validate_job_request",
+    "ApiError",
+    "PartitionService",
+    "create_server",
+]

@@ -1,0 +1,67 @@
+"""Service observability: per-state counters and completed-job latencies.
+
+The metrics surface is deliberately computed, not accumulated: every call to
+:func:`service_metrics` derives the counters from the executor's live job
+table, so the numbers can never drift out of sync with the jobs they count
+(the failure mode incremental counters invite).  Latency percentiles cover
+every *finished* job — including cancelled and timed-out ones, whose partial
+runs consumed real capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.service.job import Job, JobState
+
+__all__ = ["percentile", "service_metrics"]
+
+#: Percentiles reported for completed-job latency.
+LATENCY_PERCENTILES = (50, 90, 99)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` by linear interpolation.
+
+    ``values`` need not be sorted; raises on an empty sequence (callers gate
+    on having data) or a ``q`` outside [0, 100].
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must lie in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def service_metrics(jobs: Iterable[Job]) -> Dict[str, object]:
+    """Aggregate counters + latency percentiles over the executor's jobs."""
+    states = {state: 0 for state in JobState.ALL}
+    latencies: List[float] = []
+    for job in jobs:
+        states[job.state] = states.get(job.state, 0) + 1
+        latency = job.latency_seconds
+        if latency is not None:
+            latencies.append(latency)
+    finished = sum(states[s] for s in JobState.TERMINAL)
+    out: Dict[str, object] = {
+        "jobs_total": sum(states.values()),
+        "queue_depth": states[JobState.QUEUED],
+        "running": states[JobState.RUNNING],
+        "finished": finished,
+        "states": states,
+    }
+    latency_stats: Dict[str, float] = {}
+    if latencies:
+        for q in LATENCY_PERCENTILES:
+            latency_stats[f"p{q}"] = percentile(latencies, q)
+        latency_stats["max"] = max(latencies)
+        latency_stats["count"] = float(len(latencies))
+    out["latency_seconds"] = latency_stats
+    return out

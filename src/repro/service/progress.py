@@ -1,0 +1,211 @@
+"""Progress and ETA estimation from run-lifecycle events.
+
+A :class:`ProgressTracker` is a :class:`~repro.core.context.RunObserver`
+that folds the ``on_merge_phase`` / ``on_mcmc_sweep`` / ``on_cycle`` stream
+into a thread-safe :class:`ProgressSnapshot` the HTTP layer can serve while
+the run is still executing.
+
+The ETA comes from the shape of the agglomerative search itself: the block
+count starts at one-block-per-vertex and shrinks roughly geometrically
+(``block_reduction_rate`` per cycle) until the golden-ratio search brackets
+the description-length minimum and spends a few more cycles refining it.
+The tracker therefore measures the realised per-cycle log-reduction rate,
+extrapolates how many cycles remain until the estimated final block count,
+and scales by the average cycle duration.  Once the DL curve has visibly
+turned upward (the search overshot the minimum), the final block count is
+re-estimated as the best-DL block count seen, which collapses the remaining
+work to the bracket-refinement tail.
+
+Reported ``progress`` is clamped monotonically non-decreasing: the bracket
+phase legitimately revisits *larger* block counts, and a progress bar that
+moves backwards is worse than one that briefly stalls.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.context import CycleEvent, MCMCSweepEvent, MergePhaseEvent, RunObserver
+
+__all__ = ["ProgressSnapshot", "ProgressTracker"]
+
+#: Cycles the golden-ratio search typically spends refining the bracket once
+#: the DL minimum is inside it; added to every extrapolation so the ETA does
+#: not collapse to zero the moment the reduction curve flattens.
+REFINEMENT_CYCLES = 3
+
+
+@dataclass(frozen=True)
+class ProgressSnapshot:
+    """A point-in-time view of one job's run, safe to serialise."""
+
+    phase: str
+    cycles: int
+    merge_phases: int
+    mcmc_sweeps: int
+    initial_blocks: int
+    current_blocks: int
+    best_description_length: Optional[float]
+    #: ``(cycle, num_blocks)`` pairs, one per completed agglomerative cycle.
+    block_trajectory: Tuple[Tuple[int, int], ...]
+    elapsed_seconds: float
+    blocks_per_second: float
+    #: Monotone fraction in [0, 1]; 1.0 exactly when the run finished.
+    progress: float
+    #: Extrapolated seconds to completion; ``None`` until one full cycle has
+    #: been observed, finite afterwards.
+    eta_seconds: Optional[float]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "phase": self.phase,
+            "cycles": self.cycles,
+            "merge_phases": self.merge_phases,
+            "mcmc_sweeps": self.mcmc_sweeps,
+            "initial_blocks": self.initial_blocks,
+            "current_blocks": self.current_blocks,
+            "best_description_length": self.best_description_length,
+            "block_trajectory": [list(point) for point in self.block_trajectory],
+            "elapsed_seconds": self.elapsed_seconds,
+            "blocks_per_second": self.blocks_per_second,
+            "progress": self.progress,
+            "eta_seconds": self.eta_seconds,
+        }
+
+
+class ProgressTracker(RunObserver):
+    """Accumulates lifecycle events into servable progress state.
+
+    Parameters
+    ----------
+    num_vertices:
+        Vertex count of the job's graph — the search's starting block count.
+    min_blocks:
+        The config's agglomeration floor (the hard lower bound on the final
+        block count; the extrapolation target before the bracket is found).
+    """
+
+    def __init__(self, num_vertices: int, min_blocks: int = 1) -> None:
+        self._lock = threading.Lock()
+        self._initial_blocks = max(int(num_vertices), 1)
+        self._floor = max(int(min_blocks), 1)
+        self._started_at: Optional[float] = None
+        self._finished = False
+        self._phase = "waiting"
+        self._cycles = 0
+        self._merge_phases = 0
+        self._sweeps = 0
+        self._current_blocks = self._initial_blocks
+        self._trajectory: List[Tuple[int, int]] = []
+        self._cycle_times: List[float] = []
+        self._best_dl: Optional[float] = None
+        self._best_dl_blocks: Optional[int] = None
+        self._overshot = False
+        self._max_progress = 0.0
+
+    # ------------------------------------------------------------------
+    # Observer hooks (driver thread)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Mark the run as started (called by the executor just before run)."""
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = time.monotonic()
+
+    def finish(self) -> None:
+        """Mark the run as finished; progress snaps to 1.0."""
+        with self._lock:
+            self._finished = True
+            self._phase = "done"
+
+    def on_merge_phase(self, event: MergePhaseEvent) -> None:
+        with self._lock:
+            self._ensure_started()
+            self._phase = "block_merge"
+            self._merge_phases += 1
+            self._current_blocks = int(event.num_blocks_after)
+
+    def on_mcmc_sweep(self, event: MCMCSweepEvent) -> None:
+        with self._lock:
+            self._ensure_started()
+            self._phase = "mcmc"
+            self._sweeps += 1
+
+    def on_cycle(self, event: CycleEvent) -> None:
+        with self._lock:
+            self._ensure_started()
+            self._cycles += 1
+            self._current_blocks = int(event.num_blocks)
+            self._trajectory.append((int(event.cycle), int(event.num_blocks)))
+            self._cycle_times.append(time.monotonic())
+            dl = float(event.description_length)
+            if self._best_dl is None or dl < self._best_dl:
+                self._best_dl = dl
+                self._best_dl_blocks = int(event.num_blocks)
+            elif dl > self._best_dl:
+                # The DL curve turned upward: the search has overshot the
+                # minimum and the remaining work is bracket refinement.
+                self._overshot = True
+
+    def _ensure_started(self) -> None:
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Estimation (any thread)
+    # ------------------------------------------------------------------
+    def _estimate_remaining_cycles(self) -> Optional[float]:
+        """Cycles left, extrapolated from the block-reduction curve."""
+        if self._cycles == 0:
+            return None
+        current = max(self._current_blocks, 1)
+        # Realised per-cycle log-reduction rate over the whole run so far.
+        rate = math.log(self._initial_blocks / current) / self._cycles if current < self._initial_blocks else 0.0
+        if self._overshot and self._best_dl_blocks is not None:
+            # Bracket found: only the refinement tail remains.
+            return float(REFINEMENT_CYCLES)
+        target = self._floor
+        if rate <= 1e-9:
+            # No reduction observed yet (e.g. a warm-started fine-tune run):
+            # assume only the refinement tail remains.
+            return float(REFINEMENT_CYCLES)
+        remaining_reduction = math.log(max(current, 1) / target) if current > target else 0.0
+        return remaining_reduction / rate + REFINEMENT_CYCLES
+
+    def snapshot(self) -> ProgressSnapshot:
+        """The current progress view; cheap and safe from any thread."""
+        with self._lock:
+            elapsed = 0.0 if self._started_at is None else time.monotonic() - self._started_at
+            removed = self._initial_blocks - self._current_blocks
+            rate_bps = removed / elapsed if elapsed > 0 and removed > 0 else 0.0
+            eta: Optional[float] = None
+            progress = 0.0
+            if self._finished:
+                progress, eta = 1.0, 0.0
+            else:
+                remaining = self._estimate_remaining_cycles()
+                if remaining is not None:
+                    progress = self._cycles / (self._cycles + remaining)
+                    per_cycle = elapsed / self._cycles if self._cycles else 0.0
+                    eta = remaining * per_cycle
+            # Monotone clamp: the bracket phase can revisit larger block
+            # counts, which would otherwise walk the fraction backwards.
+            self._max_progress = max(self._max_progress, progress)
+            return ProgressSnapshot(
+                phase=self._phase,
+                cycles=self._cycles,
+                merge_phases=self._merge_phases,
+                mcmc_sweeps=self._sweeps,
+                initial_blocks=self._initial_blocks,
+                current_blocks=self._current_blocks,
+                best_description_length=self._best_dl,
+                block_trajectory=tuple(self._trajectory),
+                elapsed_seconds=elapsed,
+                blocks_per_second=rate_bps,
+                progress=self._max_progress,
+                eta_seconds=eta,
+            )

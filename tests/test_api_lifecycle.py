@@ -127,6 +127,21 @@ class TestCancellation:
         assert reloaded.metadata["stopped"] == "cancelled"
         assert reloaded.description_length == partial.description_length
 
+    def test_cancel_pending_handle_is_terminal_immediately(self, planted_graph, fast_config):
+        # Regression: cancel() on a never-started handle used to leave it
+        # "pending" forever; a scheduler holding the handle could never
+        # observe a terminal state without calling run() itself.
+        handle = Partitioner("sequential", fast_config).submit(planted_graph)
+        handle.cancel()
+        assert handle.status == "cancelled"
+        assert handle.done
+        # result() lazily materialises the well-formed degenerate result
+        # without disturbing the terminal state.
+        result = handle.result()
+        assert handle.status == "cancelled"
+        assert result.metadata.get("stopped") == "cancelled"
+        assert len(result.history) == 0
+
     def test_external_cancel_before_run(self, planted_graph, fast_config):
         handle = Partitioner("sequential", fast_config).submit(planted_graph)
         handle.cancel()
